@@ -1,0 +1,237 @@
+// Package continuum_test holds the benchmark harness: one testing.B per
+// reconstructed table/figure (regenerating it at Small size each
+// iteration) plus the design-choice ablations and substrate
+// microbenchmarks. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-size tables come from cmd/continuum-bench.
+package continuum_test
+
+import (
+	"testing"
+
+	"continuum/internal/experiments"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/placement"
+	"continuum/internal/sim"
+	"continuum/internal/task"
+	"continuum/internal/workload"
+)
+
+// Experiment benches: each iteration regenerates the table/figure.
+
+func benchExperiment(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := run(experiments.Small)
+		if res.Table.NumRows() == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkF1GilderCrossover regenerates F1 (Gilder crossover).
+func BenchmarkF1GilderCrossover(b *testing.B) { benchExperiment(b, experiments.F1Gilder) }
+
+// BenchmarkT1PlacementPolicies regenerates T1 (where should I compute).
+func BenchmarkT1PlacementPolicies(b *testing.B) { benchExperiment(b, experiments.T1Placement) }
+
+// BenchmarkF2DAGSched regenerates F2 (workflow scheduling).
+func BenchmarkF2DAGSched(b *testing.B) { benchExperiment(b, experiments.F2DAGSched) }
+
+// BenchmarkF3FaaS regenerates F3 (federated function serving, wall clock).
+func BenchmarkF3FaaS(b *testing.B) { benchExperiment(b, experiments.F3FaaS) }
+
+// BenchmarkT2DataFabric regenerates T2 (edge caching).
+func BenchmarkT2DataFabric(b *testing.B) { benchExperiment(b, experiments.T2DataFabric) }
+
+// BenchmarkF4ApplianceSweep regenerates F4 (specialization design space).
+func BenchmarkF4ApplianceSweep(b *testing.B) { benchExperiment(b, experiments.F4ApplianceSweep) }
+
+// BenchmarkT3FacilityPlacement regenerates T3 (where should I place my computers).
+func BenchmarkT3FacilityPlacement(b *testing.B) { benchExperiment(b, experiments.T3Facility) }
+
+// BenchmarkF5SimScaling regenerates F5 (simulator scaling).
+func BenchmarkF5SimScaling(b *testing.B) { benchExperiment(b, experiments.F5SimScaling) }
+
+// BenchmarkT4Pareto regenerates T4 (multi-objective Pareto surface).
+func BenchmarkT4Pareto(b *testing.B) { benchExperiment(b, experiments.T4Pareto) }
+
+// BenchmarkF6LightWall regenerates F6 (speed-of-light wall).
+func BenchmarkF6LightWall(b *testing.B) { benchExperiment(b, experiments.F6LightWall) }
+
+// BenchmarkF7Reliability regenerates F7 (placement under edge failures).
+func BenchmarkF7Reliability(b *testing.B) { benchExperiment(b, experiments.F7Reliability) }
+
+// BenchmarkT5Adaptive regenerates T5 (measurement vs model placement).
+func BenchmarkT5Adaptive(b *testing.B) { benchExperiment(b, experiments.T5Adaptive) }
+
+// BenchmarkF8Elasticity regenerates F8 (serverless elasticity).
+func BenchmarkF8Elasticity(b *testing.B) { benchExperiment(b, experiments.F8Elasticity) }
+
+// BenchmarkF9Routing regenerates F9 (serverless routing under skew).
+func BenchmarkF9Routing(b *testing.B) { benchExperiment(b, experiments.F9Routing) }
+
+// BenchmarkF10Workflow regenerates F10 (workflows under failures).
+func BenchmarkF10Workflow(b *testing.B) { benchExperiment(b, experiments.F10Workflow) }
+
+// Ablation benches.
+
+// BenchmarkAblationEventQueue regenerates A1 (heap vs sorted list).
+func BenchmarkAblationEventQueue(b *testing.B) { benchExperiment(b, experiments.AblationEventQueue) }
+
+// BenchmarkAblationFairShare regenerates A2 (max-min vs equal split).
+func BenchmarkAblationFairShare(b *testing.B) { benchExperiment(b, experiments.AblationFairShare) }
+
+// BenchmarkAblationHEFTRank regenerates A3 (upward ranks vs topo order).
+func BenchmarkAblationHEFTRank(b *testing.B) { benchExperiment(b, experiments.AblationHEFTRank) }
+
+// BenchmarkAblationBatchSize regenerates A4 (batching threshold sweep).
+func BenchmarkAblationBatchSize(b *testing.B) { benchExperiment(b, experiments.AblationBatchSize) }
+
+// BenchmarkAblationBagHeuristics regenerates A5 (bag-of-tasks heuristics).
+func BenchmarkAblationBagHeuristics(b *testing.B) {
+	benchExperiment(b, experiments.AblationBagHeuristics)
+}
+
+// BenchmarkMinMin50 measures batch-scheduling a 50-task bag.
+func BenchmarkMinMin50(b *testing.B) {
+	env := benchEnv()
+	rng := workload.NewRNG(9)
+	sizes := workload.NewLognormalSize(rng, 22.5, 1.0)
+	tasks := make([]*task.Task, 50)
+	for i := range tasks {
+		tasks[i] = &task.Task{Name: "t", ScalarWork: sizes.Next()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := placement.MinMin(env, 0, tasks); len(s.Assign) != 50 {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// Substrate microbenchmarks.
+
+// BenchmarkKernelEventThroughput measures raw DES event dispatch.
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	left := b.N
+	var hop func()
+	hop = func() {
+		left--
+		if left > 0 {
+			k.After(1, hop)
+		}
+	}
+	k.After(1, hop)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelManyPending measures dispatch with a large pending set.
+func BenchmarkKernelManyPending(b *testing.B) {
+	rng := workload.NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		for j := 0; j < 10000; j++ {
+			k.At(rng.Float64(), func() {})
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkNetsimMessage measures analytic small-message delivery.
+func BenchmarkNetsimMessage(b *testing.B) {
+	k := sim.NewKernel()
+	net, _, leaves := netsim.Star(k, netsim.StarSpec{Leaves: 64, LeafLatency: 0.001, LeafCapacity: 1e9})
+	rng := workload.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Message(leaves[rng.Intn(64)], leaves[rng.Intn(64)], 1e3, func() {})
+		if i%1024 == 0 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+// BenchmarkNetsimFlowReallocate measures max-min reallocation with many
+// concurrent flows on a shared bottleneck.
+func BenchmarkNetsimFlowReallocate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel()
+		net, _, leaves := netsim.Star(k, netsim.StarSpec{Leaves: 32, LeafLatency: 0.001, LeafCapacity: 1e6})
+		done := 0
+		for f := 0; f < 64; f++ {
+			net.Transfer(leaves[f%32], leaves[(f+1)%32], 1e5, func(*netsim.Flow) { done++ })
+		}
+		k.Run()
+		if done != 64 {
+			b.Fatal("flows lost")
+		}
+	}
+}
+
+// BenchmarkHEFT50 measures scheduling a 50-task DAG.
+func BenchmarkHEFT50(b *testing.B) {
+	d := task.RandomLayered(workload.NewRNG(3), 5, 12, 3, task.GenSpec{
+		MeanWork: 1e10, WorkSigma: 1, MeanBytes: 1e6, BytesSigma: 1,
+	})
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := placement.HEFT(env, d)
+		if len(s.Assign) != d.N() {
+			b.Fatal("incomplete schedule")
+		}
+	}
+}
+
+// BenchmarkGreedyLatencySelect measures one online placement decision.
+func BenchmarkGreedyLatencySelect(b *testing.B) {
+	env := benchEnv()
+	pol := placement.GreedyLatency{}
+	req := placement.Request{
+		Task:   &task.Task{Name: "t", ScalarWork: 1e9, OutputBytes: 128},
+		Origin: 0,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pol.Select(env, req) == nil {
+			b.Fatal("nil selection")
+		}
+	}
+}
+
+// BenchmarkRNG measures the deterministic PRNG.
+func BenchmarkRNG(b *testing.B) {
+	rng := workload.NewRNG(4)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= rng.Uint64()
+	}
+	_ = sink
+}
+
+// benchEnv builds the shared 3-node heterogeneous placement environment.
+func benchEnv() *placement.Env {
+	k := sim.NewKernel()
+	net := netsim.New(k, 3)
+	net.AddDuplexLink(0, 1, 0.002, 1.25e8)
+	net.AddDuplexLink(1, 2, 0.020, 1.25e9)
+	net.AddDuplexLink(0, 2, 0.022, 1.25e9)
+	mk := func(id int, name string, class node.Class, cores int, flops float64) *node.Node {
+		return node.New(k, id, node.Spec{
+			Name: name, Class: class, Cores: cores, CoreFlops: flops,
+			MemBytes: 1 << 32, IdleWatts: 10, ActiveWattsCore: 5,
+		})
+	}
+	return &placement.Env{Net: net, Nodes: []*node.Node{
+		mk(0, "edge", node.Gateway, 4, 1e9),
+		mk(1, "campus", node.Campus, 16, 3e9),
+		mk(2, "cloud", node.Cloud, 64, 8e9),
+	}}
+}

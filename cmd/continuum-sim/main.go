@@ -1,0 +1,75 @@
+// Command continuum-sim runs a JSON scenario through the continuum
+// simulator and prints the measured report.
+//
+// Usage:
+//
+//	continuum-sim -f scenario.json        # run a scenario file
+//	continuum-sim -example                # print a documented sample scenario
+//	continuum-sim -example | continuum-sim -f -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"continuum/internal/scenario"
+)
+
+func main() {
+	file := flag.String("f", "", "scenario JSON file ('-' for stdin)")
+	example := flag.Bool("example", false, "print a sample scenario and exit")
+	csv := flag.Bool("csv", false, "emit the report as CSV")
+	gantt := flag.Int("gantt", 0, "also print an ASCII busy-timeline of the given width")
+	flag.Parse()
+
+	if *example {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(scenario.Example()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "continuum-sim: -f scenario.json required (or -example)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var raw []byte
+	var err error
+	if *file == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*file)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := scenario.Parse(raw)
+	if err != nil {
+		fatal(err)
+	}
+	report, tr, err := s.RunTraced()
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(report.Table().CSV())
+	} else {
+		fmt.Print(report.Table().String())
+	}
+	if *gantt > 0 {
+		fmt.Println()
+		fmt.Print(tr.Gantt(*gantt))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "continuum-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command continuumctl drives continuumd endpoints over the wire
+// protocol.
+//
+// Usage:
+//
+//	continuumctl -addr 127.0.0.1:9090 ping
+//	continuumctl -addr 127.0.0.1:9090 list
+//	continuumctl -addr 127.0.0.1:9090 stats
+//	continuumctl -addr 127.0.0.1:9090 invoke echo 'hello'
+//	continuumctl -addr 127.0.0.1:9090 invoke matmul '{"n":64}'
+//	continuumctl -addr 127.0.0.1:9090 bench echo -n 1000 -c 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"continuum/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "endpoint address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "ping":
+		start := time.Now()
+		if err := c.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pong in %v\n", time.Since(start).Round(time.Microsecond))
+
+	case "list":
+		names, err := c.List()
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "stats":
+		stats, err := c.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range stats {
+			fmt.Printf("%s: capacity=%d running=%d invocations=%d cold=%d warm=%d\n",
+				s.Name, s.Capacity, s.Running, s.Invocations, s.ColdStarts, s.WarmHits)
+		}
+
+	case "invoke":
+		if len(args) < 2 {
+			usage()
+		}
+		payload := ""
+		if len(args) >= 3 {
+			payload = args[2]
+		}
+		out, err := c.Invoke(args[1], []byte(payload))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+
+	case "bench":
+		if len(args) < 2 {
+			usage()
+		}
+		benchFlags := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := benchFlags.Int("n", 1000, "total invocations")
+		conc := benchFlags.Int("c", 8, "concurrent connections")
+		payload := benchFlags.String("p", "", "payload")
+		if err := benchFlags.Parse(args[2:]); err != nil {
+			fatal(err)
+		}
+		runBench(*addr, args[1], []byte(*payload), *n, *conc)
+
+	default:
+		usage()
+	}
+}
+
+// runBench opens conc connections and fires n invocations, printing
+// throughput and latency percentiles.
+func runBench(addr, fn string, payload []byte, n, conc int) {
+	per := n / conc
+	lats := make([][]time.Duration, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conc; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench dial:", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				t0 := time.Now()
+				if _, err := c.Invoke(fn, payload); err != nil {
+					fmt.Fprintln(os.Stderr, "bench invoke:", err)
+					return
+				}
+				lats[i] = append(lats[i], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no successful invocations"))
+	}
+	sortDurations(all)
+	fmt.Printf("%d calls in %v: %.0f calls/s\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		all[len(all)/2].Round(time.Microsecond),
+		all[len(all)*9/10].Round(time.Microsecond),
+		all[len(all)*99/100].Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `continuumctl [-addr host:port] <command>
+
+commands:
+  ping                      round-trip check
+  list                      registered functions
+  stats                     endpoint counters
+  invoke <fn> [payload]     call a function
+  bench <fn> [-n N] [-c C] [-p payload]   load test`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "continuumctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Gilder's observation, quantified: "when the network is as fast as the
+// computer's internal links, the machine disintegrates across the net."
+//
+// A dataset is born at a slow edge device with a fast machine across a
+// link. For each (data size, bandwidth) pair we simulate both strategies —
+// compute where the data is, or ship the data to the fast machine — and
+// print who wins. Watch the "ship" region flood the table as bandwidth
+// grows 1000x, exactly the two decades the keynote describes. Run with:
+//
+//	go run ./examples/gilder
+package main
+
+import (
+	"fmt"
+
+	"continuum/internal/metrics"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/sim"
+)
+
+const (
+	edgeFlops = 1e9   // the device where data is born
+	hubFlops  = 64e9  // the fast machine across the network
+	linkLat   = 0.010 // 10 ms one way
+	flops     = 1e10  // fixed analysis: 10 Gflop
+)
+
+// winner simulates both strategies in the DES and reports which finished
+// first ("local" or "ship") with the two times.
+func winner(bytes, bw float64) (string, float64, float64) {
+	run := func(ship bool) float64 {
+		k := sim.NewKernel()
+		net := netsim.New(k, 2)
+		net.AddDuplexLink(0, 1, linkLat, bw)
+		edge := node.New(k, 0, node.Spec{
+			Name: "edge", Class: node.Gateway, Cores: 1, CoreFlops: edgeFlops, MemBytes: 1 << 30,
+		})
+		hub := node.New(k, 1, node.Spec{
+			Name: "hub", Class: node.Cloud, Cores: 1, CoreFlops: hubFlops, MemBytes: 1 << 40,
+		})
+		var done float64
+		if ship {
+			net.Transfer(0, 1, bytes, func(*netsim.Flow) {
+				hub.Execute(flops, 0, node.NoAccel, func() { done = k.Now() })
+			})
+		} else {
+			edge.Execute(flops, 0, node.NoAccel, func() { done = k.Now() })
+		}
+		k.Run()
+		return done
+	}
+	local, ship := run(false), run(true)
+	if ship < local {
+		return "ship", local, ship
+	}
+	return "local", local, ship
+}
+
+func main() {
+	sizes := []float64{1e6, 1e8, 1e9, 1e10}            // 1MB .. 10GB
+	bands := []float64{1.25e6, 1.25e7, 1.25e8, 1.25e9} // 10Mbit .. 10Gbit
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Where should a 10-Gflop analysis of D bytes run? (edge %.0fx slower than hub, %.0fms link)",
+			hubFlops/edgeFlops, linkLat*1000),
+		"data\\bw", "10Mbit (2001)", "100Mbit", "1Gbit", "10Gbit (x1000)",
+	)
+	for _, size := range sizes {
+		row := []string{metrics.FormatBytes(size)}
+		for _, bw := range bands {
+			w, _, _ := winner(size, bw)
+			row = append(row, w)
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nAt 2001 bandwidth only tiny datasets ship; at x1000 bandwidth everything up to 10GB does — the machine has disintegrated across the net.")
+}

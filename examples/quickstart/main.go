@@ -1,0 +1,51 @@
+// Quickstart: the Parsl-style dataflow API in thirty lines.
+//
+// A map-reduce over futures: estimate π by quasi-Monte-Carlo in parallel
+// shards, combining shard counts as they resolve. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"continuum/internal/dataflow"
+	"continuum/internal/workload"
+)
+
+func main() {
+	exec := dataflow.NewExecutor(8)
+	defer exec.Close()
+
+	const shards, perShard = 32, 200000
+
+	// Fan out: each shard counts darts inside the unit circle.
+	counts := dataflow.Map(exec, seeds(shards), func(seed uint64) (int, error) {
+		rng := workload.NewRNG(seed)
+		in := 0
+		for i := 0; i < perShard; i++ {
+			x, y := rng.Float64(), rng.Float64()
+			if x*x+y*y < 1 {
+				in++
+			}
+		}
+		return in, nil
+	})
+
+	// Reduce: fold shard counts into the estimate.
+	total, err := dataflow.Reduce(counts, 0, func(acc, c int) int { return acc + c })
+	if err != nil {
+		panic(err)
+	}
+	pi := 4 * float64(total) / float64(shards*perShard)
+	fmt.Printf("π ≈ %.5f from %d samples across %d parallel shards\n",
+		pi, shards*perShard, shards)
+}
+
+func seeds(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(i + 1)
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module continuum
+
+go 1.22

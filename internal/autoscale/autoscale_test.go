@@ -1,0 +1,202 @@
+package autoscale
+
+import (
+	"testing"
+
+	"continuum/internal/core"
+	"continuum/internal/node"
+	"continuum/internal/workload"
+)
+
+func poolConfig() Config {
+	return Config{
+		Min: 1, Max: 8,
+		Template: node.Spec{
+			Name: "worker", Class: node.Cloud,
+			Cores: 2, CoreFlops: 1e9, MemBytes: 1 << 30,
+			IdleWatts: 10, ActiveWattsCore: 5,
+		},
+		LinkLatency: 0.001, LinkCapacity: 1.25e9,
+		ProvisionDelay: 2.0,
+		DrainAfter:     5.0,
+		QueuePerNode:   2,
+	}
+}
+
+func newPool(t *testing.T, cfg Config) (*core.Continuum, *Pool) {
+	t.Helper()
+	c := core.New()
+	hub := c.AddVertex()
+	return c, NewPool(c, hub, cfg)
+}
+
+func TestPoolStartsAtMin(t *testing.T) {
+	_, p := newPool(t, poolConfig())
+	if p.Active() != 1 {
+		t.Fatalf("Active = %d, want Min", p.Active())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"min zero", func(c *Config) { c.Min = 0 }},
+		{"max below min", func(c *Config) { c.Max = 0 }},
+		{"negative provision", func(c *Config) { c.ProvisionDelay = -1 }},
+		{"zero drain", func(c *Config) { c.DrainAfter = 0 }},
+		{"zero trigger", func(c *Config) { c.QueuePerNode = 0 }},
+		{"bad template", func(c *Config) { c.Template.Cores = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := poolConfig()
+			tc.mutate(&cfg)
+			if cfg.Validate() == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestSubmitCompletes(t *testing.T) {
+	c, p := newPool(t, poolConfig())
+	done := 0
+	for i := 0; i < 5; i++ {
+		p.Submit(1e9, 0, node.NoAccel, func() { done++ })
+	}
+	c.K.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if p.Outstanding != 0 {
+		t.Fatalf("Outstanding = %d", p.Outstanding)
+	}
+}
+
+func TestBurstTriggersScaleUp(t *testing.T) {
+	c, p := newPool(t, poolConfig())
+	// 30 one-second tasks on a 2-core node: queue explodes past the
+	// trigger; the pool must provision.
+	for i := 0; i < 30; i++ {
+		p.Submit(1e9, 0, node.NoAccel, nil)
+	}
+	c.K.Run()
+	if p.ScaleUps == 0 || p.ColdProvisions == 0 {
+		t.Fatalf("no scaling: ups=%d cold=%d", p.ScaleUps, p.ColdProvisions)
+	}
+	if p.Active() > poolConfig().Max {
+		t.Fatalf("Active %d exceeds Max", p.Active())
+	}
+}
+
+func TestScaleUpRespectsMax(t *testing.T) {
+	cfg := poolConfig()
+	cfg.Max = 2
+	c, p := newPool(t, cfg)
+	for i := 0; i < 100; i++ {
+		p.Submit(1e9, 0, node.NoAccel, nil)
+	}
+	c.K.Run()
+	if got := len(p.members); got > 2 {
+		t.Fatalf("%d members, Max 2", got)
+	}
+}
+
+func TestIdleNodesDrainToMin(t *testing.T) {
+	c, p := newPool(t, poolConfig())
+	for i := 0; i < 30; i++ {
+		p.Submit(1e9, 0, node.NoAccel, nil)
+	}
+	c.K.Run() // all work done + drain timers fired
+	if p.Active() != poolConfig().Min {
+		t.Fatalf("Active = %d after drain, want Min=%d", p.Active(), poolConfig().Min)
+	}
+	if p.ScaleDowns == 0 {
+		t.Fatal("no scale-downs recorded")
+	}
+}
+
+func TestWarmReactivationAvoidsColdProvision(t *testing.T) {
+	c, p := newPool(t, poolConfig())
+	burst := func() {
+		for i := 0; i < 30; i++ {
+			p.Submit(1e9, 0, node.NoAccel, nil)
+		}
+	}
+	burst()
+	c.K.Run() // scale up cold, then drain to warm
+	coldAfterFirst := p.ColdProvisions
+	if coldAfterFirst == 0 {
+		t.Fatal("first burst provisioned nothing")
+	}
+	burst()
+	c.K.Run()
+	// The second burst should reuse warm capacity before (or instead of)
+	// cold-provisioning more.
+	if p.ColdProvisions > coldAfterFirst+1 {
+		t.Fatalf("second burst cold-provisioned %d more nodes despite warm pool",
+			p.ColdProvisions-coldAfterFirst)
+	}
+}
+
+func TestNodeSecondsAccrue(t *testing.T) {
+	c, p := newPool(t, poolConfig())
+	p.Submit(2e9, 0, node.NoAccel, nil) // 2s of work
+	c.K.Run()
+	ns := p.NodeSeconds()
+	if ns <= 0 {
+		t.Fatalf("NodeSeconds = %v", ns)
+	}
+	// At least the active node's lifetime (work + drain window).
+	if ns < 2 {
+		t.Fatalf("NodeSeconds = %v, want >= 2", ns)
+	}
+}
+
+func TestAutoscaleVsStaticLatencyCostTradeoff(t *testing.T) {
+	// A bursty workload: the autoscaled pool should deliver lower mean
+	// latency than a static Min-sized fleet, at lower node-seconds than a
+	// static Max-sized fleet.
+	runPool := func(cfg Config) (meanLat, nodeSec float64) {
+		c := core.New()
+		hub := c.AddVertex()
+		p := NewPool(c, hub, cfg)
+		rng := workload.NewRNG(1)
+		var total float64
+		var count int
+		t0 := 0.0
+		for burst := 0; burst < 3; burst++ {
+			for i := 0; i < 20; i++ {
+				at := t0 + rng.Float64()
+				c.K.At(at, func() {
+					p.Submit(1e9, 0, node.NoAccel, func() {
+						total += c.K.Now() - at
+						count++
+					})
+				})
+			}
+			t0 += 60
+		}
+		c.K.Run()
+		return total / float64(count), p.NodeSeconds()
+	}
+
+	elastic := poolConfig()
+	staticSmall := poolConfig()
+	staticSmall.Max = staticSmall.Min // no scaling
+	staticBig := poolConfig()
+	staticBig.Min, staticBig.Max = 8, 8
+
+	eLat, eCost := runPool(elastic)
+	sLat, _ := runPool(staticSmall)
+	_, bCost := runPool(staticBig)
+
+	if eLat >= sLat {
+		t.Fatalf("elastic latency %v not below static-small %v", eLat, sLat)
+	}
+	if eCost >= bCost {
+		t.Fatalf("elastic cost %v not below static-big %v", eCost, bCost)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"continuum/internal/data"
+	"continuum/internal/metrics"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/placement"
+	"continuum/internal/task"
+	"continuum/internal/trace"
+)
+
+// Stats summarizes one workload run.
+type Stats struct {
+	Completed int64
+	Latency   *metrics.Histogram // per-task end-to-end seconds
+	Joules    float64            // total energy integrated over the run
+	Dollars   float64            // accumulated node-time + egress cost
+	EgressB   float64            // bytes leaving billed nodes
+	Makespan  float64            // virtual time when the last task finished
+
+	// PerNode counts completed tasks per node name.
+	PerNode map[string]int64
+}
+
+func newStats() *Stats {
+	return &Stats{Latency: metrics.NewHistogram(), PerNode: make(map[string]int64)}
+}
+
+// StreamJob describes one online task submission.
+type StreamJob struct {
+	Task   *task.Task
+	Origin int     // vertex the request (and its reply) is anchored to
+	Submit float64 // virtual submission time
+}
+
+// RunStream executes jobs under the given policy: each job's inputs move
+// to the selected node (via the fabric when enabled, else shipped from the
+// origin), the task executes, and the result returns to the origin. The
+// returned stats measure submit→reply latency. Candidates defaults to all
+// nodes when nil.
+//
+// RunStream owns the kernel: it schedules all submissions and runs the
+// simulation to completion.
+func (c *Continuum) RunStream(pol placement.Policy, jobs []StreamJob, candidates []*node.Node) *Stats {
+	if len(candidates) == 0 {
+		candidates = c.Nodes
+	}
+	env := &placement.Env{Net: c.Net, Nodes: candidates, Fabric: c.Fabric}
+	st := newStats()
+
+	fb, _ := pol.(placement.FeedbackPolicy)
+	for _, j := range jobs {
+		j := j
+		c.K.At(j.Submit, func() {
+			n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
+			c.dispatch(j, n, st, fb)
+		})
+	}
+	c.K.Run()
+	st.Joules = c.TotalJoules()
+	return st
+}
+
+// dispatch moves inputs, executes, and returns the result to the origin.
+// When fb is non-nil the measured latency is fed back to the policy.
+func (c *Continuum) dispatch(j StreamJob, n *node.Node, st *Stats, fb placement.FeedbackPolicy) {
+	exec := func() {
+		c.Tracer.Record(c.K.Now(), trace.TaskStart, n.Name, j.Task.Name)
+		n.Execute(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel, func() {
+			c.Tracer.Record(c.K.Now(), trace.TaskEnd, n.Name, j.Task.Name)
+			execTime := n.ExecTime(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel)
+			st.Dollars += n.DollarCost(execTime)
+			if n.ID != j.Origin && n.EgressPerByte > 0 {
+				st.Dollars += n.EgressPerByte * j.Task.OutputBytes
+				st.EgressB += j.Task.OutputBytes
+			}
+			c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
+				st.Completed++
+				st.PerNode[n.Name]++
+				lat := c.K.Now() - j.Submit
+				st.Latency.Add(lat)
+				if fb != nil {
+					fb.Observe(n.ID, lat)
+				}
+				if c.K.Now() > st.Makespan {
+					st.Makespan = c.K.Now()
+				}
+			})
+		})
+	}
+
+	if c.Fabric != nil && len(j.Task.Inputs) > 0 {
+		pending := len(j.Task.Inputs)
+		for _, in := range j.Task.Inputs {
+			ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
+			c.Fabric.Stage(ds, n.ID, func(bool) {
+				pending--
+				if pending == 0 {
+					exec()
+				}
+			})
+		}
+		return
+	}
+	inBytes := 0.0
+	for _, in := range j.Task.Inputs {
+		inBytes += in.Bytes
+	}
+	c.Net.Message(j.Origin, n.ID, inBytes, exec)
+}
+
+// RunDAG executes a static schedule under the full contention model: a
+// task starts once every predecessor's edge data has arrived (bulk
+// Transfer for cross-node edges) and its external inputs are staged
+// (through the fabric when enabled). It returns measured stats; Makespan
+// is the headline number for the F2 experiment.
+//
+// RunDAG owns the kernel: it runs the simulation to completion and errors
+// if any task never became runnable (which would indicate a malformed
+// schedule).
+func (c *Continuum) RunDAG(d *task.DAG, sched placement.Schedule, env *placement.Env) (*Stats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sched.Assign) != d.N() {
+		return nil, fmt.Errorf("core: schedule covers %d of %d tasks", len(sched.Assign), d.N())
+	}
+	st := newStats()
+
+	// waiting[t] counts unsatisfied prerequisites: one per incoming edge.
+	waiting := make([]int, d.N())
+	for i := 0; i < d.N(); i++ {
+		waiting[i] = d.InDegree(task.ID(i))
+	}
+	started := make([]bool, d.N())
+
+	var tryStart func(id task.ID)
+	runTask := func(id task.ID) {
+		tk := d.Tasks[id]
+		n := env.Nodes[sched.Assign[id]]
+		start := func() {
+			c.Tracer.Record(c.K.Now(), trace.TaskStart, n.Name, tk.Name)
+			n.Execute(tk.ScalarWork, tk.TensorWork, tk.Accel, func() {
+				now := c.K.Now()
+				c.Tracer.Record(now, trace.TaskEnd, n.Name, tk.Name)
+				st.Completed++
+				st.PerNode[n.Name]++
+				st.Latency.Add(now)
+				if now > st.Makespan {
+					st.Makespan = now
+				}
+				execTime := n.ExecTime(tk.ScalarWork, tk.TensorWork, tk.Accel)
+				st.Dollars += n.DollarCost(execTime)
+				for _, e := range d.Successors(id) {
+					e := e
+					dst := env.Nodes[sched.Assign[e.To]]
+					if dst.ID == n.ID {
+						waiting[e.To]--
+						tryStart(e.To)
+						continue
+					}
+					if n.EgressPerByte > 0 {
+						st.Dollars += n.EgressPerByte * e.Bytes
+						st.EgressB += e.Bytes
+					}
+					c.Tracer.Record(now, trace.TransferStart, n.Name+"->"+dst.Name,
+						fmt.Sprintf("%.0fB", e.Bytes))
+					c.Net.Transfer(n.ID, dst.ID, e.Bytes, func(*netsim.Flow) {
+						c.Tracer.Record(c.K.Now(), trace.TransferEnd, n.Name+"->"+dst.Name, "")
+						waiting[e.To]--
+						tryStart(e.To)
+					})
+				}
+			})
+		}
+		if c.Fabric != nil && len(tk.Inputs) > 0 {
+			pending := len(tk.Inputs)
+			for _, in := range tk.Inputs {
+				ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
+				c.Fabric.Stage(ds, n.ID, func(bool) {
+					pending--
+					if pending == 0 {
+						start()
+					}
+				})
+			}
+			return
+		}
+		start()
+	}
+
+	tryStart = func(id task.ID) {
+		if started[id] || waiting[id] > 0 {
+			return
+		}
+		started[id] = true
+		runTask(id)
+	}
+
+	for _, r := range d.Roots() {
+		tryStart(r)
+	}
+	c.K.Run()
+	st.Joules = c.TotalJoules()
+
+	if st.Completed != int64(d.N()) {
+		return st, fmt.Errorf("core: only %d of %d tasks completed", st.Completed, d.N())
+	}
+	return st, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"continuum/internal/placement"
+	"continuum/internal/task"
+	"continuum/internal/trace"
+)
+
+func TestRunStreamRecordsTrace(t *testing.T) {
+	c := miniContinuum()
+	c.Tracer = trace.New(0)
+	jobs := []StreamJob{
+		{Task: &task.Task{Name: "a", ScalarWork: 1e8, OutputBytes: 10}, Origin: c.Nodes[0].ID, Submit: 0},
+		{Task: &task.Task{Name: "b", ScalarWork: 1e8, OutputBytes: 10}, Origin: c.Nodes[0].ID, Submit: 1},
+	}
+	st := c.RunStream(placement.GreedyLatency{}, jobs, nil)
+	if st.Completed != 2 {
+		t.Fatalf("Completed = %d", st.Completed)
+	}
+	if got := len(c.Tracer.Filter(trace.TaskStart)); got != 2 {
+		t.Fatalf("TaskStart events = %d, want 2", got)
+	}
+	if got := len(c.Tracer.Filter(trace.TaskEnd)); got != 2 {
+		t.Fatalf("TaskEnd events = %d, want 2", got)
+	}
+}
+
+func TestRunStreamNilTracerSafe(t *testing.T) {
+	c := miniContinuum() // Tracer nil
+	jobs := []StreamJob{
+		{Task: &task.Task{Name: "a", ScalarWork: 1e8}, Origin: c.Nodes[0].ID, Submit: 0},
+	}
+	if st := c.RunStream(placement.GreedyLatency{}, jobs, nil); st.Completed != 1 {
+		t.Fatal("nil tracer broke the runner")
+	}
+}

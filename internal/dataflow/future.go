@@ -1,0 +1,285 @@
+// Package dataflow is the Parsl analogue of the reproduction: a
+// futures-based parallel scripting engine. Functions ("apps") are
+// submitted with explicit data dependencies; the engine runs them on a
+// bounded worker pool as soon as their inputs resolve, so program order
+// and execution order decouple exactly as in Parsl's implicit-dataflow
+// model.
+//
+// Unlike the simulation packages, dataflow executes real Go functions on
+// real goroutines — it is the programming-model layer an application links
+// against, and the examples drive it directly.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Awaitable is anything a task can depend on: it signals completion and
+// reports a terminal error. All Future[T] instantiations implement it.
+type Awaitable interface {
+	// Done is closed when the value (or error) is available.
+	Done() <-chan struct{}
+	// Err returns the terminal error; it must only be called after Done is
+	// closed.
+	Err() error
+}
+
+// Future is a write-once result container.
+type Future[T any] struct {
+	done  chan struct{}
+	value T
+	err   error
+}
+
+// NewFuture returns an unresolved future, for use by custom producers.
+func NewFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// Resolve fulfills the future. Resolving twice panics (write-once).
+func (f *Future[T]) Resolve(v T, err error) {
+	select {
+	case <-f.done:
+		panic("dataflow: future resolved twice")
+	default:
+	}
+	f.value = v
+	f.err = err
+	close(f.done)
+}
+
+// Done returns a channel closed at resolution.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Err returns the terminal error. Call only after Done is closed.
+func (f *Future[T]) Err() error { return f.err }
+
+// Get blocks until the future resolves and returns its value and error.
+func (f *Future[T]) Get() (T, error) {
+	<-f.done
+	return f.value, f.err
+}
+
+// MustGet is Get for tests and examples where failure is fatal.
+func (f *Future[T]) MustGet() T {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Resolved returns an already-fulfilled future carrying v.
+func Resolved[T any](v T) *Future[T] {
+	f := NewFuture[T]()
+	f.Resolve(v, nil)
+	return f
+}
+
+// Failed returns an already-failed future.
+func Failed[T any](err error) *Future[T] {
+	f := NewFuture[T]()
+	var zero T
+	f.Resolve(zero, err)
+	return f
+}
+
+// DependencyError wraps the upstream failure that prevented a task from
+// running.
+type DependencyError struct {
+	Cause error
+}
+
+// Error implements error.
+func (e *DependencyError) Error() string {
+	return fmt.Sprintf("dataflow: dependency failed: %v", e.Cause)
+}
+
+// Unwrap exposes the upstream error to errors.Is/As.
+func (e *DependencyError) Unwrap() error { return e.Cause }
+
+// ErrExecutorClosed is returned by submissions after Close.
+var ErrExecutorClosed = errors.New("dataflow: executor closed")
+
+// Executor runs submitted apps on at most `workers` concurrent goroutines.
+type Executor struct {
+	sem    chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+
+	// Launched and Completed count tasks for introspection.
+	statsMu   sync.Mutex
+	launched  int64
+	completed int64
+}
+
+// NewExecutor returns an executor with the given worker-pool size.
+func NewExecutor(workers int) *Executor {
+	if workers <= 0 {
+		panic("dataflow: workers must be positive")
+	}
+	return &Executor{sem: make(chan struct{}, workers)}
+}
+
+// Launched returns the number of tasks accepted so far.
+func (e *Executor) Launched() int64 {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.launched
+}
+
+// Completed returns the number of tasks finished so far.
+func (e *Executor) Completed() int64 {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.completed
+}
+
+// Close waits for all in-flight tasks and rejects new submissions.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Wait blocks until all tasks submitted so far have completed, without
+// closing the executor.
+func (e *Executor) Wait() { e.wg.Wait() }
+
+func (e *Executor) acceptTask() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.wg.Add(1)
+	e.statsMu.Lock()
+	e.launched++
+	e.statsMu.Unlock()
+	return true
+}
+
+// Submit schedules fn to run once every dep resolves. If any dependency
+// fails, fn never runs and the future carries a DependencyError. The
+// returned future resolves with fn's result.
+func Submit[T any](e *Executor, fn func() (T, error), deps ...Awaitable) *Future[T] {
+	f := NewFuture[T]()
+	if !e.acceptTask() {
+		var zero T
+		f.Resolve(zero, ErrExecutorClosed)
+		return f
+	}
+	go func() {
+		defer e.wg.Done()
+		defer func() {
+			e.statsMu.Lock()
+			e.completed++
+			e.statsMu.Unlock()
+		}()
+		for _, d := range deps {
+			<-d.Done()
+			if err := d.Err(); err != nil {
+				var zero T
+				f.Resolve(zero, &DependencyError{Cause: err})
+				return
+			}
+		}
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		// Convert panics into errors so one bad app doesn't kill the run.
+		var v T
+		var err error
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("dataflow: app panicked: %v", r)
+				}
+			}()
+			v, err = fn()
+		}()
+		f.Resolve(v, err)
+	}()
+	return f
+}
+
+// SubmitRetry is Submit with up to retries re-executions on error
+// (dependency failures are not retried — the input will not improve).
+func SubmitRetry[T any](e *Executor, retries int, fn func() (T, error), deps ...Awaitable) *Future[T] {
+	return Submit(e, func() (T, error) {
+		var v T
+		var err error
+		for attempt := 0; attempt <= retries; attempt++ {
+			v, err = fn()
+			if err == nil {
+				return v, nil
+			}
+		}
+		return v, fmt.Errorf("dataflow: failed after %d attempts: %w", retries+1, err)
+	}, deps...)
+}
+
+// Then chains: run fn on a's value once a resolves.
+func Then[A, B any](e *Executor, a *Future[A], fn func(A) (B, error)) *Future[B] {
+	return Submit(e, func() (B, error) {
+		av, err := a.Get()
+		if err != nil {
+			var zero B
+			return zero, err
+		}
+		return fn(av)
+	}, a)
+}
+
+// Combine joins two futures into one result.
+func Combine[A, B, C any](e *Executor, a *Future[A], b *Future[B], fn func(A, B) (C, error)) *Future[C] {
+	return Submit(e, func() (C, error) {
+		av, _ := a.Get() // deps guarantee success
+		bv, _ := b.Get()
+		return fn(av, bv)
+	}, a, b)
+}
+
+// Map fans fn over inputs, returning one future per element.
+func Map[A, B any](e *Executor, in []A, fn func(A) (B, error)) []*Future[B] {
+	out := make([]*Future[B], len(in))
+	for i, a := range in {
+		a := a
+		out[i] = Submit(e, func() (B, error) { return fn(a) })
+	}
+	return out
+}
+
+// Gather blocks for all futures and collects values; the first error wins
+// (but all futures are drained so no goroutine leaks).
+func Gather[T any](fs []*Future[T]) ([]T, error) {
+	out := make([]T, len(fs))
+	var firstErr error
+	for i, f := range fs {
+		v, err := f.Get()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = v
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Reduce folds resolved futures left-to-right.
+func Reduce[T, Acc any](fs []*Future[T], init Acc, fn func(Acc, T) Acc) (Acc, error) {
+	acc := init
+	for _, f := range fs {
+		v, err := f.Get()
+		if err != nil {
+			return acc, err
+		}
+		acc = fn(acc, v)
+	}
+	return acc, nil
+}

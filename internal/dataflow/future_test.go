@@ -1,0 +1,296 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitBasic(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	f := Submit(e, func() (int, error) { return 42, nil })
+	v, err := f.Get()
+	if err != nil || v != 42 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+}
+
+func TestSubmitError(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	boom := errors.New("boom")
+	f := Submit(e, func() (int, error) { return 0, boom })
+	if _, err := f.Get(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	e := NewExecutor(8)
+	defer e.Close()
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	a := Submit(e, func() (int, error) {
+		time.Sleep(10 * time.Millisecond)
+		log("a")
+		return 1, nil
+	})
+	b := Submit(e, func() (int, error) {
+		log("b")
+		av, _ := a.Get()
+		return av + 1, nil
+	}, a)
+	if v := b.MustGet(); v != 2 {
+		t.Fatalf("b = %d", v)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDependencyFailurePropagates(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	boom := errors.New("boom")
+	a := Submit(e, func() (int, error) { return 0, boom })
+	ran := false
+	b := Submit(e, func() (int, error) { ran = true; return 1, nil }, a)
+	_, err := b.Get()
+	var de *DependencyError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DependencyError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("DependencyError does not unwrap to cause")
+	}
+	if ran {
+		t.Fatal("dependent ran despite failed dependency")
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	f := Submit(e, func() (int, error) { panic("kaboom") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestWorkerLimitRespected(t *testing.T) {
+	const workers = 3
+	e := NewExecutor(workers)
+	defer e.Close()
+	var active, peak int64
+	var fs []*Future[int]
+	for i := 0; i < 20; i++ {
+		fs = append(fs, Submit(e, func() (int, error) {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&active, -1)
+			return 0, nil
+		}))
+	}
+	if _, err := Gather(fs); err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > workers {
+		t.Fatalf("peak concurrency %d > limit %d", p, workers)
+	}
+}
+
+func TestSubmitRetrySucceedsEventually(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	attempts := 0
+	f := SubmitRetry(e, 3, func() (string, error) {
+		attempts++
+		if attempts < 3 {
+			return "", errors.New("flaky")
+		}
+		return "ok", nil
+	})
+	v, err := f.Get()
+	if err != nil || v != "ok" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d", attempts)
+	}
+}
+
+func TestSubmitRetryExhausts(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	f := SubmitRetry(e, 2, func() (int, error) { return 0, errors.New("always") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("exhausted retry returned nil error")
+	}
+}
+
+func TestThenAndCombine(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	a := Submit(e, func() (int, error) { return 3, nil })
+	sq := Then(e, a, func(x int) (int, error) { return x * x, nil })
+	b := Submit(e, func() (int, error) { return 4, nil })
+	sum := Combine(e, sq, b, func(x, y int) (int, error) { return x + y, nil })
+	if v := sum.MustGet(); v != 13 {
+		t.Fatalf("sum = %d, want 13", v)
+	}
+}
+
+func TestThenPropagatesError(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	a := Failed[int](errors.New("nope"))
+	b := Then(e, a, func(x int) (int, error) { return x, nil })
+	if _, err := b.Get(); err == nil {
+		t.Fatal("Then swallowed upstream error")
+	}
+}
+
+func TestMapGatherReduce(t *testing.T) {
+	e := NewExecutor(8)
+	defer e.Close()
+	in := []int{1, 2, 3, 4, 5}
+	fs := Map(e, in, func(x int) (int, error) { return x * 2, nil })
+	vals, err := Gather(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 6, 8, 10}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	total, err := Reduce(fs, 0, func(a, x int) int { return a + x })
+	if err != nil || total != 30 {
+		t.Fatalf("Reduce = %d, %v", total, err)
+	}
+}
+
+func TestGatherReportsFirstError(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Close()
+	fs := Map(e, []int{1, 2, 3}, func(x int) (int, error) {
+		if x == 2 {
+			return 0, fmt.Errorf("bad %d", x)
+		}
+		return x, nil
+	})
+	if _, err := Gather(fs); err == nil {
+		t.Fatal("Gather did not surface error")
+	}
+}
+
+func TestResolvedAndFailed(t *testing.T) {
+	r := Resolved(7)
+	if v := r.MustGet(); v != 7 {
+		t.Fatal("Resolved wrong")
+	}
+	f := Failed[int](errors.New("x"))
+	if _, err := f.Get(); err == nil {
+		t.Fatal("Failed wrong")
+	}
+}
+
+func TestDoubleResolvePanics(t *testing.T) {
+	f := NewFuture[int]()
+	f.Resolve(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double resolve did not panic")
+		}
+	}()
+	f.Resolve(2, nil)
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	e := NewExecutor(1)
+	e.Close()
+	f := Submit(e, func() (int, error) { return 1, nil })
+	if _, err := f.Get(); !errors.Is(err, ErrExecutorClosed) {
+		t.Fatalf("err = %v, want ErrExecutorClosed", err)
+	}
+}
+
+func TestCloseWaitsForInflight(t *testing.T) {
+	e := NewExecutor(2)
+	var finished atomic.Bool
+	Submit(e, func() (int, error) {
+		time.Sleep(20 * time.Millisecond)
+		finished.Store(true)
+		return 0, nil
+	})
+	e.Close()
+	if !finished.Load() {
+		t.Fatal("Close returned before in-flight task finished")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	e := NewExecutor(4)
+	fs := Map(e, []int{1, 2, 3}, func(x int) (int, error) { return x, nil })
+	if _, err := Gather(fs); err != nil {
+		t.Fatal(err)
+	}
+	e.Wait()
+	if e.Launched() != 3 || e.Completed() != 3 {
+		t.Fatalf("launched/completed = %d/%d", e.Launched(), e.Completed())
+	}
+	e.Close()
+}
+
+func TestDiamondDataflow(t *testing.T) {
+	// Classic diamond: a -> (b, c) -> d, values flow through futures.
+	e := NewExecutor(4)
+	defer e.Close()
+	a := Submit(e, func() (int, error) { return 10, nil })
+	b := Then(e, a, func(x int) (int, error) { return x + 1, nil })
+	c := Then(e, a, func(x int) (int, error) { return x * 2, nil })
+	d := Combine(e, b, c, func(x, y int) (int, error) { return x + y, nil })
+	if v := d.MustGet(); v != 31 {
+		t.Fatalf("diamond = %d, want 31", v)
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	e := NewExecutor(16)
+	defer e.Close()
+	const n = 2000
+	var sum int64
+	fs := make([]*Future[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		fs[i] = Submit(e, func() (int, error) {
+			atomic.AddInt64(&sum, int64(i))
+			return i, nil
+		})
+	}
+	if _, err := Gather(fs); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n * (n - 1) / 2)
+	if atomic.LoadInt64(&sum) != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}

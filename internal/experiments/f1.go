@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"continuum/internal/metrics"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/sim"
+)
+
+// F1Gilder reproduces the keynote's framing observation: Gilder predicted
+// that once networks rival internal links, the machine disintegrates. We
+// fix an analysis task (B bytes of data, F flops of compute) with the data
+// born at a slow edge device, and ask when *shipping the data* to a fast
+// central machine beats *computing where the data is*. Sweeping link
+// bandwidth from a 2001-era 10 Mbit/s to 1000x that (the abstract's "our
+// networks are 1,000 times faster"), the crossover data size grows by
+// three orders of magnitude — at modern bandwidth nearly every task should
+// ship, i.e. the machine disintegrates across the net.
+//
+// Each row is validated two ways: the analytic crossover from the cost
+// model, and a discrete-event simulation of both strategies at the
+// crossover's two sides.
+func F1Gilder(Size) *Result {
+	const (
+		baseBW    = 1.25e6 // 10 Mbit/s in bytes/sec (2001 baseline)
+		linkLat   = 0.010  // 10 ms one-way
+		edgeFlops = 1e9    // slow device
+		hubFlops  = 64e9   // fast central machine (effective)
+		workF     = 1e10   // reference task: 10 Gflop
+	)
+	tbl := metrics.NewTable(
+		"F1 — Gilder crossover: data size where shipping beats local compute",
+		"bw_mult", "bandwidth", "crossover_bytes", "ref_1GB_local", "ref_1GB_ship", "ref_winner", "sim_agrees",
+	)
+
+	for _, mult := range []float64{1, 10, 100, 1000} {
+		bw := baseBW * mult
+		// local = F/edge. ship = lat + B/bw + F/hub. Equal at:
+		// B* = bw * (F/edge - F/hub - lat)
+		crossover := bw * (workF/edgeFlops - workF/hubFlops - linkLat)
+
+		refB := 1e9 // 1 GB reference dataset
+		local := workF / edgeFlops
+		ship := linkLat + refB/bw + workF/hubFlops
+		winner := "local"
+		if ship < local {
+			winner = "ship"
+		}
+
+		simWinner := simulateF1(refB, workF, linkLat, bw, edgeFlops, hubFlops)
+		agrees := "yes"
+		if winner != simWinner {
+			agrees = "NO"
+		}
+
+		tbl.AddRow(
+			fmt.Sprintf("x%.0f", mult),
+			metrics.FormatBytes(bw)+"/s",
+			metrics.FormatBytes(crossover),
+			metrics.FormatDuration(local),
+			metrics.FormatDuration(ship),
+			winner,
+			agrees,
+		)
+	}
+	return &Result{
+		ID:    "F1",
+		Title: "Gilder crossover (compute-local vs ship-the-data)",
+		Table: tbl,
+		Notes: "Expected shape: crossover grows linearly with bandwidth (~3 orders of magnitude over the sweep); the 1GB reference task flips from local to ship as bandwidth rises.",
+	}
+}
+
+// simulateF1 runs both strategies in the DES and returns the winner.
+func simulateF1(bytes, flops, lat, bw, edgeFlops, hubFlops float64) string {
+	run := func(ship bool) float64 {
+		k := sim.NewKernel()
+		net := netsim.New(k, 2)
+		net.AddDuplexLink(0, 1, lat, bw)
+		edge := node.New(k, 0, node.Spec{
+			Name: "edge", Class: node.Gateway, Cores: 1, CoreFlops: edgeFlops,
+			MemBytes: 1 << 30,
+		})
+		hub := node.New(k, 1, node.Spec{
+			Name: "hub", Class: node.Cloud, Cores: 1, CoreFlops: hubFlops,
+			MemBytes: 1 << 40,
+		})
+		var done float64
+		if ship {
+			net.Transfer(0, 1, bytes, func(*netsim.Flow) {
+				hub.Execute(flops, 0, node.NoAccel, func() { done = k.Now() })
+			})
+		} else {
+			edge.Execute(flops, 0, node.NoAccel, func() { done = k.Now() })
+		}
+		k.Run()
+		return done
+	}
+	if run(true) < run(false) {
+		return "ship"
+	}
+	return "local"
+}

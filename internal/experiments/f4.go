@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"continuum/internal/metrics"
+	"continuum/internal/node"
+	"continuum/internal/sim"
+	"continuum/internal/task"
+	"continuum/internal/workload"
+)
+
+// F4ApplianceSweep answers "for what workloads should I design computers":
+// fix a silicon budget and sweep the fraction devoted to a specialized
+// tensor appliance vs general cores, against a workload that is 30%
+// tensor-heavy. Throughput per watt and per dollar peak at an interior
+// fraction matched to the workload mix — specialization pays exactly as
+// far as the workload can use it.
+func F4ApplianceSweep(size Size) *Result {
+	fractions := []float64{0, 0.25, 0.5, 0.75, 0.9}
+	nTasks := 400
+	if size == Small {
+		nTasks = 100
+	}
+
+	const (
+		budgetFlops   = 64e9 // scalar-equivalent silicon budget
+		accelLeverage = 50.0 // flops of tensor silicon per scalar flop of budget
+		coreFlops     = 4e9  // per core
+		tensorShare   = 0.3  // fraction of tasks that are tensor-heavy
+	)
+
+	tbl := metrics.NewTable(
+		"F4 — appliance design space: accelerator fraction of a fixed budget",
+		"accel_frac", "cores", "accel_tflops", "makespan", "tasks/s", "tasks/kJ", "tasks/$",
+	)
+
+	for _, frac := range fractions {
+		cores := int((1 - frac) * budgetFlops / coreFlops)
+		if cores < 1 {
+			cores = 1
+		}
+		accelFlops := frac * budgetFlops * accelLeverage
+
+		spec := node.Spec{
+			Name: "appliance", Class: node.Campus,
+			Cores: cores, CoreFlops: coreFlops, MemBytes: 1 << 40,
+			IdleWatts: 100, ActiveWattsCore: 10,
+			DollarPerHour: 3,
+		}
+		if accelFlops > 0 {
+			spec.Accel = node.Accelerator{Kind: node.TPU, Count: 1, Flops: accelFlops, Watts: 200}
+		}
+
+		k := sim.NewKernel()
+		n := node.New(k, 0, spec)
+		rng := workload.NewRNG(11)
+
+		remaining := nTasks
+		for i := 0; i < nTasks; i++ {
+			tk := &task.Task{Name: "t"}
+			if rng.Float64() < tensorShare {
+				tk.TensorWork = 2e11 // tensor-heavy (e.g. inference batch)
+				tk.Accel = node.TPU
+			} else {
+				tk.ScalarWork = 4e9 // 1s on one core
+			}
+			n.Execute(tk.ScalarWork, tk.TensorWork, tk.Accel, func() { remaining-- })
+		}
+		k.Run()
+		if remaining != 0 {
+			panic(fmt.Sprintf("experiments: F4 left %d tasks unfinished", remaining))
+		}
+
+		makespan := k.Now()
+		joules := n.Meter.Joules()
+		dollars := n.DollarCost(makespan)
+		tbl.AddRow(
+			fmt.Sprintf("%.0f%%", frac*100),
+			fmt.Sprintf("%d", cores),
+			fmt.Sprintf("%.1f", accelFlops/1e12),
+			metrics.FormatDuration(makespan),
+			fmt.Sprintf("%.1f", float64(nTasks)/makespan),
+			fmt.Sprintf("%.1f", float64(nTasks)/(joules/1000)),
+			fmt.Sprintf("%.0f", float64(nTasks)/dollars),
+		)
+	}
+	return &Result{
+		ID:    "F4",
+		Title: "For what workloads should I design computers? (specialization sweep)",
+		Table: tbl,
+		Notes: "Expected shape: with a 30% tensor workload, throughput/W and throughput/$ peak at an interior accelerator fraction; 0% wastes the tensor tasks on slow cores, 90% starves the scalar majority of cores.",
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"continuum/internal/metrics"
+	"continuum/internal/netsim"
+)
+
+// F6LightWall quantifies the abstract's "hardware acceleration overcomes
+// speed-of-light delays; time and space merge": as accelerators shrink
+// service time, propagation delay becomes the binding constraint. For
+// each (service time, distance) pair we report the fraction of end-to-end
+// latency spent in flight; the "wall" is where that fraction crosses 50%.
+// Below ~1 ms of compute, anything beyond a metro is propagation-bound —
+// placement stops being about machines and starts being about kilometers.
+func F6LightWall(Size) *Result {
+	services := []float64{1e-6, 1e-4, 1e-2, 1}
+	distances := []float64{1, 100, 1000, 10000} // km
+
+	tbl := metrics.NewTable(
+		"F6 — speed-of-light wall: propagation share of end-to-end latency",
+		"service", "1km", "100km", "1000km", "10000km", "wall_at",
+	)
+	for _, svc := range services {
+		row := []string{metrics.FormatDuration(svc)}
+		wall := "beyond sweep"
+		for _, km := range distances {
+			rtt := 2 * netsim.PropagationDelay(km*1.5) // 1.5x path stretch
+			share := rtt / (rtt + svc)
+			row = append(row, fmt.Sprintf("%.1f%%", share*100))
+			if wall == "beyond sweep" && share >= 0.5 {
+				wall = fmt.Sprintf("<=%.0fkm", km)
+			}
+		}
+		row = append(row, wall)
+		tbl.AddRow(row...)
+	}
+	return &Result{
+		ID:    "F6",
+		Title: "Speed-of-light wall (propagation share vs service time and distance)",
+		Notes: "Expected shape: at 1µs service time even 1km is propagation-bound; at 1s service time distance is irrelevant. The 50% wall moves outward ~1 decade in distance per decade of service time.",
+		Table: tbl,
+	}
+}

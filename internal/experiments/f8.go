@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"continuum/internal/autoscale"
+	"continuum/internal/core"
+	"continuum/internal/metrics"
+	"continuum/internal/node"
+	"continuum/internal/workload"
+)
+
+// F8Elasticity studies serverless-style elasticity on the continuum: a
+// bursty (MMPP) invocation stream against a fleet that can be statically
+// small (cheap, slow under burst), statically large (fast, wasteful), or
+// autoscaled with a provisioning delay. The provisioning-delay sweep
+// shows the price of cold capacity: elasticity approaches the big
+// fleet's latency only when provisioning is much faster than burst
+// duration.
+func F8Elasticity(size Size) *Result {
+	provisionDelays := []float64{0.5, 2, 10}
+	bursts := 6
+	if size == Small {
+		provisionDelays = []float64{0.5, 10}
+		bursts = 3
+	}
+
+	template := node.Spec{
+		Name: "worker", Class: node.Cloud,
+		Cores: 4, CoreFlops: 2.5e9, MemBytes: 8 << 30,
+		IdleWatts: 20, ActiveWattsCore: 8,
+	}
+	baseCfg := autoscale.Config{
+		Min: 1, Max: 10, Template: template,
+		LinkLatency: 0.002, LinkCapacity: 1.25e9,
+		DrainAfter: 8, QueuePerNode: 2,
+	}
+
+	// run executes the bursty workload on one pool config and returns
+	// (mean latency, p99, node-seconds, cold provisions).
+	run := func(cfg autoscale.Config) (float64, float64, float64, int64) {
+		c := core.New()
+		hub := c.AddVertex()
+		p := autoscale.NewPool(c, hub, cfg)
+		rng := workload.NewRNG(13)
+		lat := metrics.NewHistogram()
+		t0 := 0.0
+		for b := 0; b < bursts; b++ {
+			// Burst: 60 tasks over ~6 seconds, then quiet. The burst must
+			// outlive the provisioning delays being swept: the pool does
+			// not migrate queued work, so capacity arriving after the
+			// last submission can only watch.
+			arr := workload.NewPoisson(rng.Split(), 10)
+			at := t0
+			for i := 0; i < 60; i++ {
+				at += arr.Next()
+				submit := at
+				c.K.At(submit, func() {
+					p.Submit(2.5e9, 0, node.NoAccel, func() {
+						lat.Add(c.K.Now() - submit)
+					})
+				})
+			}
+			t0 += 60
+		}
+		c.K.Run()
+		return lat.Mean(), lat.P99(), p.NodeSeconds(), p.ColdProvisions
+	}
+
+	tbl := metrics.NewTable(
+		"F8 — elasticity under bursty load (60-task bursts, 60s apart)",
+		"fleet", "mean_lat", "p99_lat", "node_sec", "cold_provisions",
+	)
+
+	// Static baselines.
+	small := baseCfg
+	small.Max = small.Min
+	ml, p99, ns, _ := run(small)
+	tbl.AddRow("static-1", metrics.FormatDuration(ml), metrics.FormatDuration(p99),
+		fmt.Sprintf("%.0f", ns), "0")
+
+	big := baseCfg
+	big.Min, big.Max = 10, 10
+	ml, p99, ns, _ = run(big)
+	tbl.AddRow("static-10", metrics.FormatDuration(ml), metrics.FormatDuration(p99),
+		fmt.Sprintf("%.0f", ns), "0")
+
+	for _, pd := range provisionDelays {
+		cfg := baseCfg
+		cfg.ProvisionDelay = pd
+		ml, p99, ns, cold := run(cfg)
+		tbl.AddRow(
+			fmt.Sprintf("elastic(%.1fs)", pd),
+			metrics.FormatDuration(ml), metrics.FormatDuration(p99),
+			fmt.Sprintf("%.0f", ns), fmt.Sprintf("%d", cold),
+		)
+	}
+	return &Result{
+		ID:    "F8",
+		Title: "Serverless elasticity: provisioning delay vs burst latency",
+		Table: tbl,
+		Notes: "Expected shape: static-1 is cheapest and slowest; static-10 fastest and most expensive; elastic fleets land between, degrading toward static-1 latency as provisioning delay approaches the burst duration (capacity arriving after the last submission is useless — the pool does not migrate queued work), while spending far fewer node-seconds than static-10.",
+	}
+}

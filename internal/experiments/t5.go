@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"continuum/internal/core"
+	"continuum/internal/metrics"
+	"continuum/internal/node"
+	"continuum/internal/placement"
+	"continuum/internal/task"
+	"continuum/internal/workload"
+)
+
+// T5Adaptive measures what happens when the placement cost model is
+// wrong: the fog node advertises 3 GFLOPS/core but an unmodeled
+// co-tenant delivers only 0.5 GFLOPS. Model-based greedy placement
+// trusts the spec sheet and keeps feeding the fog; measurement-based
+// UCB placement learns the truth from observed latencies and migrates to
+// the honest nodes. This is the "concepts that can help guide us"
+// experiment: in a continuum nobody fully models, feedback beats faith.
+func T5Adaptive(size Size) *Result {
+	jobsN := 600
+	if size == Small {
+		jobsN = 150
+	}
+
+	// One experiment cell: build the continuum where the fog's *actual*
+	// speed differs from what the policy's environment advertises.
+	run := func(pol placement.Policy) *core.Stats {
+		c := core.New()
+		gw := c.AddNode(node.Spec{
+			Name: "gateway", Class: node.Gateway,
+			Cores: 4, CoreFlops: 2.5e9, MemBytes: 4 << 30,
+			IdleWatts: 2, ActiveWattsCore: 3,
+		})
+		fog := c.AddNode(node.Spec{
+			Name: "fog", Class: node.Fog,
+			// ACTUAL speed: crippled by an unmodeled co-tenant.
+			Cores: 8, CoreFlops: 5e8, MemBytes: 64 << 30,
+			IdleWatts: 40, ActiveWattsCore: 8,
+		})
+		cloud := c.AddNode(node.Spec{
+			Name: "cloud", Class: node.Cloud,
+			Cores: 32, CoreFlops: 3.2e9, MemBytes: 256 << 30,
+			IdleWatts: 300, ActiveWattsCore: 12,
+		})
+		c.Connect(gw.ID, fog.ID, 0.002, 1.25e8)
+		c.Connect(fog.ID, cloud.ID, 0.050, 1.25e9)
+
+		// The ADVERTISED environment the model-based policy sees: same
+		// topology, same nodes — except the fog claims 3 GFLOPS.
+		advK := c.K // share the kernel so occupancy gauges stay live
+		advertisedFog := node.New(advK, fog.ID, func() node.Spec {
+			s := fog.Spec
+			s.CoreFlops = 3e9
+			return s
+		}())
+		advertisedFog.Cores = fog.Cores // share the real occupancy gauge
+		advEnv := &placement.Env{
+			Net:   c.Net,
+			Nodes: []*node.Node{gw, advertisedFog, cloud},
+		}
+
+		// Dispatch loop: the policy decides on the advertised environment;
+		// execution happens on the actual nodes.
+		actualByID := map[int]*node.Node{gw.ID: gw, fog.ID: fog, cloud.ID: cloud}
+		st := &core.Stats{Latency: metrics.NewHistogram(), PerNode: map[string]int64{}}
+		fb, _ := pol.(placement.FeedbackPolicy)
+		rng := workload.NewRNG(5)
+		arr := workload.NewPoisson(rng.Split(), 10)
+		submit := 0.0
+		for i := 0; i < jobsN; i++ {
+			submit += arr.Next()
+			j := core.StreamJob{
+				Task:   &task.Task{Name: "t", ScalarWork: 5e8, OutputBytes: 128},
+				Origin: gw.ID,
+				Submit: submit,
+			}
+			c.K.At(j.Submit, func() {
+				chosen := pol.Select(advEnv, placement.Request{Task: j.Task, Origin: j.Origin})
+				n := actualByID[chosen.ID]
+				c.Net.Message(j.Origin, n.ID, 0, func() {
+					n.Execute(j.Task.ScalarWork, 0, node.NoAccel, func() {
+						c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
+							st.Completed++
+							st.PerNode[n.Name]++
+							lat := c.K.Now() - j.Submit
+							st.Latency.Add(lat)
+							if fb != nil {
+								fb.Observe(n.ID, lat)
+							}
+						})
+					})
+				})
+			})
+		}
+		c.K.Run()
+		return st
+	}
+
+	tbl := metrics.NewTable(
+		"T5 — placement when the cost model lies (fog advertises 6x its real speed)",
+		"policy", "mean_lat", "p99_lat", "fog_share", "best_node_share",
+	)
+	for _, pol := range []placement.Policy{
+		placement.GreedyLatency{},
+		placement.NewAdaptive(0.05),
+		placement.CloudOnly{},
+	} {
+		st := run(pol)
+		fogShare := float64(st.PerNode["fog"]) / float64(st.Completed)
+		// With the true speeds, the gateway is the best host for these
+		// 0.2s tasks (local, honest 2.5 GFLOPS).
+		bestShare := float64(st.PerNode["gateway"]) / float64(st.Completed)
+		tbl.AddRow(
+			pol.Name(),
+			metrics.FormatDuration(st.Latency.Mean()),
+			metrics.FormatDuration(st.Latency.P99()),
+			fmt.Sprintf("%.0f%%", fogShare*100),
+			fmt.Sprintf("%.0f%%", bestShare*100),
+		)
+	}
+	return &Result{
+		ID:    "T5",
+		Title: "Measurement vs model: adaptive placement under misinformation",
+		Table: tbl,
+		Notes: "Expected shape: model-based greedy keeps feeding the lying fog (high fog_share) and pays well above the honest optimum; adaptive UCB samples every node, abandons the fog, concentrates on the true-best gateway (high best_node_share) and wins on mean latency; cloud-only is immune to the lie but pays the WAN on every call.",
+	}
+}

@@ -1,0 +1,158 @@
+package faas
+
+import (
+	"sync"
+	"time"
+)
+
+// batchInvoker is the subset of endpoint/router behaviour the batcher
+// needs.
+type batchInvoker interface {
+	InvokeBatch(fn string, payloads [][]byte) ([][]byte, error)
+}
+
+type pendingCall struct {
+	payload []byte
+	done    chan struct{}
+	out     []byte
+	err     error
+}
+
+// Batcher groups invocations of the same function into batches of up to
+// MaxBatch, flushed when full or after MaxWait — trading latency for
+// amortized cold starts and slot acquisitions. It implements Invoker.
+type Batcher struct {
+	target   batchInvoker
+	maxBatch int
+	maxWait  time.Duration
+
+	mu      sync.Mutex
+	pending map[string][]*pendingCall
+	timers  map[string]*time.Timer
+	closed  bool
+
+	// Flushes counts dispatched batches; BatchedCalls counts calls that
+	// shared a batch with at least one other call.
+	flushes      int64
+	batchedCalls int64
+}
+
+// NewBatcher wraps target with batching.
+func NewBatcher(target batchInvoker, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		panic("faas: batcher maxBatch < 1")
+	}
+	return &Batcher{
+		target:   target,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		pending:  make(map[string][]*pendingCall),
+		timers:   make(map[string]*time.Timer),
+	}
+}
+
+// Flushes returns the number of batches dispatched.
+func (b *Batcher) Flushes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes
+}
+
+// BatchedCalls returns how many calls shared a batch with another call.
+func (b *Batcher) BatchedCalls() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batchedCalls
+}
+
+// Invoke enqueues the call and blocks until its batch executes.
+func (b *Batcher) Invoke(fn string, payload []byte) ([]byte, error) {
+	call := &pendingCall{payload: payload, done: make(chan struct{})}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.pending[fn] = append(b.pending[fn], call)
+	n := len(b.pending[fn])
+	if n >= b.maxBatch {
+		batch := b.takeLocked(fn)
+		b.mu.Unlock()
+		b.dispatch(fn, batch)
+	} else {
+		if n == 1 && b.maxWait > 0 {
+			b.timers[fn] = time.AfterFunc(b.maxWait, func() { b.Flush(fn) })
+		}
+		b.mu.Unlock()
+	}
+
+	<-call.done
+	return call.out, call.err
+}
+
+// takeLocked removes and returns fn's pending batch; caller holds b.mu.
+func (b *Batcher) takeLocked(fn string) []*pendingCall {
+	batch := b.pending[fn]
+	delete(b.pending, fn)
+	if t, ok := b.timers[fn]; ok {
+		t.Stop()
+		delete(b.timers, fn)
+	}
+	return batch
+}
+
+// Flush dispatches fn's pending batch immediately (no-op when empty).
+func (b *Batcher) Flush(fn string) {
+	b.mu.Lock()
+	batch := b.takeLocked(fn)
+	b.mu.Unlock()
+	b.dispatch(fn, batch)
+}
+
+// FlushAll dispatches every pending batch.
+func (b *Batcher) FlushAll() {
+	b.mu.Lock()
+	fns := make([]string, 0, len(b.pending))
+	for fn := range b.pending {
+		fns = append(fns, fn)
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		b.Flush(fn)
+	}
+}
+
+// Close flushes everything and rejects further calls.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.FlushAll()
+}
+
+func (b *Batcher) dispatch(fn string, batch []*pendingCall) {
+	if len(batch) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.flushes++
+	if len(batch) > 1 {
+		b.batchedCalls += int64(len(batch))
+	}
+	b.mu.Unlock()
+
+	payloads := make([][]byte, len(batch))
+	for i, c := range batch {
+		payloads[i] = c.payload
+	}
+	outs, err := b.target.InvokeBatch(fn, payloads)
+	for i, c := range batch {
+		if err != nil {
+			c.err = err
+		} else {
+			c.out = outs[i]
+		}
+		close(c.done)
+	}
+}

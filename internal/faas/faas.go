@@ -1,0 +1,268 @@
+// Package faas is the funcX analogue of the reproduction: federated
+// function-as-a-service over heterogeneous endpoints. Functions register
+// centrally; endpoints execute them in "containers" with a cold-start
+// penalty and a warm pool; a router spreads invocations across endpoints;
+// an optional batcher amortizes per-invocation overhead.
+//
+// Unlike the simulation substrates, this package runs for real: handlers
+// are Go functions, containers are capacity slots, and cold starts are
+// wall-clock delays. The wire package exposes it over TCP.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler executes one invocation payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// ErrUnknownFunction is returned when a function was never registered.
+var ErrUnknownFunction = errors.New("faas: unknown function")
+
+// ErrClosed is returned by invocations after Close.
+var ErrClosed = errors.New("faas: endpoint closed")
+
+// Registry maps function names to handlers. It is safe for concurrent use.
+type Registry struct {
+	mu  sync.RWMutex
+	fns map[string]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fns: make(map[string]Handler)}
+}
+
+// Register installs (or replaces) a handler under name.
+func (r *Registry) Register(name string, h Handler) {
+	if h == nil {
+		panic("faas: nil handler")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[name] = h
+}
+
+// Lookup returns the handler for name.
+func (r *Registry) Lookup(name string) (Handler, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.fns[name]
+	return h, ok
+}
+
+// Names returns all registered function names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Invoker is anything that can execute a named function: an Endpoint, a
+// Router over many endpoints, or a Batcher wrapping either.
+type Invoker interface {
+	Invoke(fn string, payload []byte) ([]byte, error)
+}
+
+// EndpointConfig parameterizes one execution site.
+type EndpointConfig struct {
+	Name     string
+	Capacity int // maximum concurrently running containers
+
+	// ColdStart is the wall-clock cost of provisioning a container for a
+	// function with no warm instance available.
+	ColdStart time.Duration
+	// WarmTTL is how long an idle warm container survives before it is
+	// considered expired (lazily, at next acquisition).
+	WarmTTL time.Duration
+	// MaxWarmPerFn caps the warm pool per function (0 = Capacity).
+	MaxWarmPerFn int
+}
+
+type container struct {
+	fn       string
+	idleFrom time.Time
+}
+
+// Endpoint executes functions in containers with a warm pool.
+type Endpoint struct {
+	cfg EndpointConfig
+	reg *Registry
+
+	slots chan struct{} // capacity semaphore
+
+	mu     sync.Mutex
+	warm   map[string][]*container
+	closed bool
+
+	// Running is the number of in-flight containers (approximate gauge).
+	running atomic.Int64
+
+	// Stats (atomic): cold starts, warm hits, completed invocations.
+	coldStarts  atomic.Int64
+	warmHits    atomic.Int64
+	invocations atomic.Int64
+}
+
+// NewEndpoint creates an endpoint executing functions from reg.
+func NewEndpoint(cfg EndpointConfig, reg *Registry) *Endpoint {
+	if cfg.Capacity <= 0 {
+		panic(fmt.Sprintf("faas: endpoint %q capacity %d <= 0", cfg.Name, cfg.Capacity))
+	}
+	if cfg.MaxWarmPerFn <= 0 {
+		cfg.MaxWarmPerFn = cfg.Capacity
+	}
+	return &Endpoint{
+		cfg:   cfg,
+		reg:   reg,
+		slots: make(chan struct{}, cfg.Capacity),
+		warm:  make(map[string][]*container),
+	}
+}
+
+// Name returns the endpoint name.
+func (ep *Endpoint) Name() string { return ep.cfg.Name }
+
+// Running returns the in-flight container count.
+func (ep *Endpoint) Running() int64 { return ep.running.Load() }
+
+// Capacity returns the concurrency limit.
+func (ep *Endpoint) Capacity() int { return ep.cfg.Capacity }
+
+// ColdStarts returns how many invocations paid the provisioning penalty.
+func (ep *Endpoint) ColdStarts() int64 { return ep.coldStarts.Load() }
+
+// WarmHits returns how many invocations reused a warm container.
+func (ep *Endpoint) WarmHits() int64 { return ep.warmHits.Load() }
+
+// Invocations returns completed invocation count.
+func (ep *Endpoint) Invocations() int64 { return ep.invocations.Load() }
+
+// Close marks the endpoint closed; in-flight work completes, new
+// invocations fail.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+}
+
+// acquire takes a warm container for fn if one is fresh, else signals a
+// cold start. Expired containers are discarded here (lazy TTL).
+func (ep *Endpoint) acquire(fn string) (warm bool, err error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return false, ErrClosed
+	}
+	pool := ep.warm[fn]
+	now := time.Now()
+	for len(pool) > 0 {
+		c := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if ep.cfg.WarmTTL == 0 || now.Sub(c.idleFrom) <= ep.cfg.WarmTTL {
+			ep.warm[fn] = pool
+			return true, nil
+		}
+		// expired; drop and keep scanning
+	}
+	ep.warm[fn] = pool
+	return false, nil
+}
+
+// release returns a container to fn's warm pool (bounded).
+func (ep *Endpoint) release(fn string) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	pool := ep.warm[fn]
+	if len(pool) < ep.cfg.MaxWarmPerFn {
+		ep.warm[fn] = append(pool, &container{fn: fn, idleFrom: time.Now()})
+	}
+}
+
+// WarmCount returns the current warm-pool size for fn.
+func (ep *Endpoint) WarmCount(fn string) int {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.warm[fn])
+}
+
+// Invoke executes fn with payload, blocking for a capacity slot. The
+// container is returned to the warm pool afterwards.
+func (ep *Endpoint) Invoke(fn string, payload []byte) ([]byte, error) {
+	h, ok := ep.reg.Lookup(fn)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	ep.slots <- struct{}{}
+	defer func() { <-ep.slots }()
+	ep.running.Add(1)
+	defer ep.running.Add(-1)
+
+	warm, err := ep.acquire(fn)
+	if err != nil {
+		return nil, err
+	}
+	if warm {
+		ep.warmHits.Add(1)
+	} else {
+		ep.coldStarts.Add(1)
+		if ep.cfg.ColdStart > 0 {
+			time.Sleep(ep.cfg.ColdStart)
+		}
+	}
+	out, err := h(payload)
+	ep.release(fn)
+	ep.invocations.Add(1)
+	return out, err
+}
+
+// InvokeBatch executes multiple payloads of the same function under a
+// single container acquisition, amortizing the cold start across the
+// batch. Results align with payloads; the first handler error is returned
+// after all payloads run.
+func (ep *Endpoint) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) {
+	h, ok := ep.reg.Lookup(fn)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
+	}
+	ep.slots <- struct{}{}
+	defer func() { <-ep.slots }()
+	ep.running.Add(1)
+	defer ep.running.Add(-1)
+
+	warm, err := ep.acquire(fn)
+	if err != nil {
+		return nil, err
+	}
+	if warm {
+		ep.warmHits.Add(1)
+	} else {
+		ep.coldStarts.Add(1)
+		if ep.cfg.ColdStart > 0 {
+			time.Sleep(ep.cfg.ColdStart)
+		}
+	}
+	out := make([][]byte, len(payloads))
+	var firstErr error
+	for i, p := range payloads {
+		v, err := h(p)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = v
+		ep.invocations.Add(1)
+	}
+	ep.release(fn)
+	return out, firstErr
+}

@@ -1,0 +1,87 @@
+package faas
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// RoutePolicy selects an endpoint for an invocation.
+type RoutePolicy int
+
+// Routing policies.
+const (
+	// RouteRoundRobin cycles endpoints.
+	RouteRoundRobin RoutePolicy = iota
+	// RouteLeastLoaded picks the endpoint with the lowest running/capacity
+	// ratio — funcX's default heuristic.
+	RouteLeastLoaded
+	// RouteSticky hashes the function name, maximizing warm-container
+	// reuse at the cost of load spread.
+	RouteSticky
+)
+
+// String returns the policy name.
+func (p RoutePolicy) String() string {
+	switch p {
+	case RouteRoundRobin:
+		return "round-robin"
+	case RouteLeastLoaded:
+		return "least-loaded"
+	case RouteSticky:
+		return "sticky"
+	default:
+		return fmt.Sprintf("route(%d)", int(p))
+	}
+}
+
+// Router federates endpoints behind one Invoker.
+type Router struct {
+	eps    []*Endpoint
+	policy RoutePolicy
+	next   atomic.Int64
+}
+
+// NewRouter builds a router over endpoints.
+func NewRouter(policy RoutePolicy, eps ...*Endpoint) *Router {
+	if len(eps) == 0 {
+		panic("faas: router needs at least one endpoint")
+	}
+	return &Router{eps: eps, policy: policy}
+}
+
+// Endpoints returns the federated endpoints.
+func (r *Router) Endpoints() []*Endpoint { return r.eps }
+
+// pick selects the endpoint for fn per the policy.
+func (r *Router) pick(fn string) *Endpoint {
+	switch r.policy {
+	case RouteLeastLoaded:
+		best := r.eps[0]
+		bestLoad := float64(best.Running()) / float64(best.Capacity())
+		for _, ep := range r.eps[1:] {
+			load := float64(ep.Running()) / float64(ep.Capacity())
+			if load < bestLoad {
+				best, bestLoad = ep, load
+			}
+		}
+		return best
+	case RouteSticky:
+		h := fnv.New32a()
+		h.Write([]byte(fn))
+		return r.eps[int(h.Sum32())%len(r.eps)]
+	default: // round robin
+		i := r.next.Add(1) - 1
+		return r.eps[int(i)%len(r.eps)]
+	}
+}
+
+// Invoke routes one invocation.
+func (r *Router) Invoke(fn string, payload []byte) ([]byte, error) {
+	return r.pick(fn).Invoke(fn, payload)
+}
+
+// InvokeBatch routes a whole batch to one endpoint.
+func (r *Router) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) {
+	return r.pick(fn).InvokeBatch(fn, payloads)
+}

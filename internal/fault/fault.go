@@ -1,0 +1,169 @@
+// Package fault injects fail-stop node failures into a simulation: each
+// attached target alternates exponentially distributed up and down
+// periods (the classic MTBF/MTTR model). The continuum's edge is flaky by
+// nature — battery sensors die, gateways reboot, links flap — and any
+// placement story that ignores that is incomplete; this package powers
+// the F7 reliability experiment.
+//
+// Failure semantics are fail-stop with work loss: the injector flips
+// availability and bumps an epoch counter; executors (see
+// core.RunStreamReliable) treat work whose host changed epoch mid-flight
+// as lost and retry elsewhere.
+package fault
+
+import (
+	"fmt"
+
+	"continuum/internal/sim"
+	"continuum/internal/workload"
+)
+
+// Spec parameterizes a target's failure process.
+type Spec struct {
+	// MeanUp is the mean time between failures (seconds of uptime).
+	MeanUp float64
+	// MeanDown is the mean time to repair (seconds of downtime).
+	MeanDown float64
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	if s.MeanUp <= 0 || s.MeanDown <= 0 {
+		return fmt.Errorf("fault: MeanUp and MeanDown must be positive (got %v, %v)", s.MeanUp, s.MeanDown)
+	}
+	return nil
+}
+
+// Target is one failure domain (typically a node).
+type Target struct {
+	Name string
+
+	up    bool
+	epoch uint64
+
+	failures  int64
+	downSince float64
+	totalDown float64
+
+	// OnFail and OnRepair, when set, run at each transition (inside the
+	// simulation event).
+	OnFail   func()
+	OnRepair func()
+
+	k *sim.Kernel
+}
+
+// Up reports current availability.
+func (t *Target) Up() bool { return t.up }
+
+// Epoch returns the failure epoch: it increments on every failure, so an
+// executor can detect "my host failed while I ran" by comparing epochs.
+func (t *Target) Epoch() uint64 { return t.epoch }
+
+// Failures returns the number of failures so far.
+func (t *Target) Failures() int64 { return t.failures }
+
+// Downtime returns accumulated seconds of unavailability.
+func (t *Target) Downtime() float64 {
+	d := t.totalDown
+	if !t.up {
+		d += t.k.Now() - t.downSince
+	}
+	return d
+}
+
+// Availability returns the measured fraction of time up, over the
+// interval [0, now]. Returns 1 at time zero.
+func (t *Target) Availability() float64 {
+	now := t.k.Now()
+	if now == 0 {
+		return 1
+	}
+	return 1 - t.Downtime()/now
+}
+
+func (t *Target) fail() {
+	if !t.up {
+		return
+	}
+	t.up = false
+	t.epoch++
+	t.failures++
+	t.downSince = t.k.Now()
+	if t.OnFail != nil {
+		t.OnFail()
+	}
+}
+
+func (t *Target) repair() {
+	if t.up {
+		return
+	}
+	t.up = true
+	t.totalDown += t.k.Now() - t.downSince
+	if t.OnRepair != nil {
+		t.OnRepair()
+	}
+}
+
+// Injector drives failure processes on a kernel, up to a horizon.
+//
+// The horizon matters: an unbounded fail/repair cycle would keep the
+// event queue nonempty forever and Kernel.Run would never return. Events
+// beyond the horizon are simply not scheduled; targets keep their final
+// state.
+type Injector struct {
+	k       *sim.Kernel
+	rng     *workload.RNG
+	horizon float64
+	targets []*Target
+}
+
+// NewInjector creates an injector using rng for all failure draws.
+// Failure/repair events are only scheduled at times <= horizon.
+func NewInjector(k *sim.Kernel, rng *workload.RNG, horizon float64) *Injector {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("fault: horizon %v <= 0", horizon))
+	}
+	return &Injector{k: k, rng: rng, horizon: horizon}
+}
+
+// Targets returns all attached targets.
+func (i *Injector) Targets() []*Target { return i.targets }
+
+// Attach registers a target and starts its fail/repair cycle. The target
+// starts up; the first failure arrives after an exponential draw.
+func (i *Injector) Attach(name string, spec Spec) *Target {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Target{Name: name, up: true, k: i.k}
+	i.targets = append(i.targets, t)
+
+	var scheduleFail, scheduleRepair func()
+	at := func(d float64, fn func()) {
+		if i.k.Now()+d <= i.horizon {
+			i.k.After(d, fn)
+		}
+	}
+	scheduleFail = func() {
+		at(i.rng.Exp(1/spec.MeanUp), func() {
+			t.fail()
+			scheduleRepair()
+		})
+	}
+	scheduleRepair = func() {
+		at(i.rng.Exp(1/spec.MeanDown), func() {
+			t.repair()
+			scheduleFail()
+		})
+	}
+	scheduleFail()
+	return t
+}
+
+// TheoreticalAvailability returns MeanUp/(MeanUp+MeanDown), the
+// steady-state availability the measured value should converge to.
+func (s Spec) TheoreticalAvailability() float64 {
+	return s.MeanUp / (s.MeanUp + s.MeanDown)
+}

@@ -1,0 +1,240 @@
+// Package geo answers the keynote's third question — "where should I
+// place my computers?" — as a weighted k-facility location problem over a
+// planar geography. Demand sites (cities, campuses, sensor fields) carry
+// request weights; facilities are chosen among site locations; the
+// objective is weighted network round-trip time, which at continental
+// scale is dominated by speed-of-light propagation.
+//
+// Three placers are provided: greedy k-median (the classic 1-1/e
+// approximation shape), swap-based local search, and random (the floor).
+package geo
+
+import (
+	"math"
+	"sort"
+
+	"continuum/internal/netsim"
+	"continuum/internal/workload"
+)
+
+// Point is a location on a plane, in kilometers.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance in km.
+func Dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RTT returns the fiber round-trip time between two points, seconds.
+// Real paths are never geodesic; the conventional 1.5x path-stretch
+// factor is applied.
+func RTT(a, b Point) float64 {
+	const pathStretch = 1.5
+	return 2 * netsim.PropagationDelay(Dist(a, b)*pathStretch)
+}
+
+// Site is a demand location with a request weight (requests/sec share).
+type Site struct {
+	Loc    Point
+	Weight float64
+}
+
+// ClusteredSites generates n demand sites grouped into clusters across an
+// extent×extent km region — the population-center pattern real demand
+// follows. Weights are Pareto-distributed (a few heavy metros).
+func ClusteredSites(rng *workload.RNG, clusters, perCluster int, spread, extent float64) []Site {
+	if clusters < 1 || perCluster < 1 {
+		panic("geo: ClusteredSites requires positive counts")
+	}
+	var sites []Site
+	for c := 0; c < clusters; c++ {
+		center := Point{X: rng.Range(0, extent), Y: rng.Range(0, extent)}
+		for s := 0; s < perCluster; s++ {
+			sites = append(sites, Site{
+				Loc: Point{
+					X: center.X + rng.Norm(0, spread),
+					Y: center.Y + rng.Norm(0, spread),
+				},
+				Weight: rng.Pareto(1, 1.5),
+			})
+		}
+	}
+	return sites
+}
+
+// Assessment summarizes a placement's quality.
+type Assessment struct {
+	MeanRTT float64 // weight-averaged RTT to nearest facility
+	P99RTT  float64 // weighted 99th percentile RTT
+	MaxRTT  float64
+	// MaxLoadShare is the largest fraction of total weight served by one
+	// facility (1/k is perfectly balanced).
+	MaxLoadShare float64
+}
+
+// nearestFacility returns the index into facilities of the closest
+// facility to s, and the RTT.
+func nearestFacility(sites []Site, facilities []int, s Site) (int, float64) {
+	best, bestRTT := -1, math.Inf(1)
+	for fi, si := range facilities {
+		r := RTT(s.Loc, sites[si].Loc)
+		if r < bestRTT {
+			best, bestRTT = fi, r
+		}
+	}
+	return best, bestRTT
+}
+
+// Evaluate assesses serving every site from its nearest facility.
+// facilities index into sites. It panics on an empty facility set.
+func Evaluate(sites []Site, facilities []int) Assessment {
+	if len(facilities) == 0 {
+		panic("geo: no facilities")
+	}
+	type wr struct{ rtt, w float64 }
+	var rows []wr
+	totalW := 0.0
+	loads := make([]float64, len(facilities))
+	var a Assessment
+	for _, s := range sites {
+		fi, r := nearestFacility(sites, facilities, s)
+		rows = append(rows, wr{r, s.Weight})
+		totalW += s.Weight
+		loads[fi] += s.Weight
+		a.MeanRTT += r * s.Weight
+		if r > a.MaxRTT {
+			a.MaxRTT = r
+		}
+	}
+	a.MeanRTT /= totalW
+	sort.Slice(rows, func(i, j int) bool { return rows[i].rtt < rows[j].rtt })
+	cum := 0.0
+	a.P99RTT = rows[len(rows)-1].rtt
+	for _, r := range rows {
+		cum += r.w
+		if cum >= 0.99*totalW {
+			a.P99RTT = r.rtt
+			break
+		}
+	}
+	for _, l := range loads {
+		if share := l / totalW; share > a.MaxLoadShare {
+			a.MaxLoadShare = share
+		}
+	}
+	return a
+}
+
+// totalCost is the weighted sum of RTTs to nearest facilities — the
+// k-median objective.
+func totalCost(sites []Site, facilities []int) float64 {
+	sum := 0.0
+	for _, s := range sites {
+		_, r := nearestFacility(sites, facilities, s)
+		sum += r * s.Weight
+	}
+	return sum
+}
+
+// GreedyKMedian picks k facilities by repeatedly adding the site that most
+// reduces the weighted-RTT objective. Deterministic; O(k·n²).
+func GreedyKMedian(sites []Site, k int) []int {
+	if k < 1 || k > len(sites) {
+		panic("geo: k out of range")
+	}
+	var chosen []int
+	inSet := make([]bool, len(sites))
+	// Current best RTT per site (∞ before any facility exists).
+	best := make([]float64, len(sites))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for len(chosen) < k {
+		bestCand, bestDelta := -1, math.Inf(1)
+		for cand := range sites {
+			if inSet[cand] {
+				continue
+			}
+			cost := 0.0
+			for i, s := range sites {
+				r := RTT(s.Loc, sites[cand].Loc)
+				if r < best[i] {
+					cost += r * s.Weight
+				} else {
+					cost += best[i] * s.Weight
+				}
+			}
+			if cost < bestDelta {
+				bestDelta, bestCand = cost, cand
+			}
+		}
+		chosen = append(chosen, bestCand)
+		inSet[bestCand] = true
+		for i, s := range sites {
+			if r := RTT(s.Loc, sites[bestCand].Loc); r < best[i] {
+				best[i] = r
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// LocalSearch improves a random initial placement by single-swap descent:
+// repeatedly replace one facility with one non-facility when it lowers the
+// objective, for at most iters sweeps. The classic (3+ε)-approximation
+// scheme for k-median.
+func LocalSearch(sites []Site, k int, rng *workload.RNG, iters int) []int {
+	if k < 1 || k > len(sites) {
+		panic("geo: k out of range")
+	}
+	perm := rng.Perm(len(sites))
+	facilities := append([]int(nil), perm[:k]...)
+	cost := totalCost(sites, facilities)
+	for it := 0; it < iters; it++ {
+		improved := false
+		for fi := 0; fi < k; fi++ {
+			for cand := range sites {
+				if contains(facilities, cand) {
+					continue
+				}
+				old := facilities[fi]
+				facilities[fi] = cand
+				if c := totalCost(sites, facilities); c < cost {
+					cost = c
+					improved = true
+				} else {
+					facilities[fi] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	sort.Ints(facilities)
+	return facilities
+}
+
+// RandomPlacement picks k distinct random sites.
+func RandomPlacement(sites []Site, k int, rng *workload.RNG) []int {
+	if k < 1 || k > len(sites) {
+		panic("geo: k out of range")
+	}
+	perm := rng.Perm(len(sites))
+	out := append([]int(nil), perm[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"continuum/internal/workload"
+)
+
+func TestDistAndRTT(t *testing.T) {
+	a, b := Point{0, 0}, Point{3000, 4000} // 5000 km
+	if d := Dist(a, b); math.Abs(d-5000) > 1e-9 {
+		t.Fatalf("Dist = %v", d)
+	}
+	// 5000km * 1.5 stretch = 7500km path; RTT = 2*7500/200000 = 75ms.
+	if r := RTT(a, b); math.Abs(r-0.075) > 1e-9 {
+		t.Fatalf("RTT = %v, want 0.075", r)
+	}
+	if RTT(a, a) != 0 {
+		t.Fatal("self RTT != 0")
+	}
+}
+
+func TestClusteredSitesShape(t *testing.T) {
+	sites := ClusteredSites(workload.NewRNG(1), 5, 10, 50, 4000)
+	if len(sites) != 50 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	for _, s := range sites {
+		if s.Weight <= 0 {
+			t.Fatal("nonpositive weight")
+		}
+	}
+}
+
+func TestEvaluateSingleFacility(t *testing.T) {
+	sites := []Site{
+		{Loc: Point{0, 0}, Weight: 1},
+		{Loc: Point{1000, 0}, Weight: 1},
+	}
+	a := Evaluate(sites, []int{0})
+	// Site 0: RTT 0; site 1: 2*1500/200000 = 15ms. Mean = 7.5ms.
+	if math.Abs(a.MeanRTT-0.0075) > 1e-9 {
+		t.Fatalf("MeanRTT = %v", a.MeanRTT)
+	}
+	if a.MaxLoadShare != 1 {
+		t.Fatalf("MaxLoadShare = %v, want 1 (single facility)", a.MaxLoadShare)
+	}
+	if a.MaxRTT < a.MeanRTT {
+		t.Fatal("MaxRTT below mean")
+	}
+}
+
+func TestEvaluateP99Weighted(t *testing.T) {
+	// 99 weight at distance 0, 1 weight far away: P99 should be ~0.
+	sites := []Site{
+		{Loc: Point{0, 0}, Weight: 99},
+		{Loc: Point{5000, 0}, Weight: 1},
+	}
+	a := Evaluate(sites, []int{0})
+	if a.P99RTT != 0 {
+		t.Fatalf("P99RTT = %v, want 0 (99%% of weight local)", a.P99RTT)
+	}
+}
+
+func TestGreedyBeatsRandom(t *testing.T) {
+	rng := workload.NewRNG(2)
+	sites := ClusteredSites(rng.Split(), 6, 15, 60, 5000)
+	const k = 4
+	greedy := Evaluate(sites, GreedyKMedian(sites, k))
+	// Average several random placements.
+	randTotal := 0.0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		randTotal += Evaluate(sites, RandomPlacement(sites, k, rng.Split())).MeanRTT
+	}
+	if greedy.MeanRTT >= randTotal/trials {
+		t.Fatalf("greedy %v not better than random mean %v", greedy.MeanRTT, randTotal/trials)
+	}
+}
+
+func TestLocalSearchNotWorseThanItsStart(t *testing.T) {
+	rng := workload.NewRNG(3)
+	sites := ClusteredSites(rng.Split(), 5, 12, 50, 4000)
+	const k = 3
+	// Local search from a random start must beat (or match) pure random
+	// with the same seed stream shape.
+	ls := Evaluate(sites, LocalSearch(sites, k, workload.NewRNG(99), 10))
+	rnd := Evaluate(sites, RandomPlacement(sites, k, workload.NewRNG(99)))
+	if ls.MeanRTT > rnd.MeanRTT+1e-12 {
+		t.Fatalf("local search %v worse than its random start %v", ls.MeanRTT, rnd.MeanRTT)
+	}
+}
+
+func TestMoreFacilitiesNeverHurt(t *testing.T) {
+	rng := workload.NewRNG(4)
+	sites := ClusteredSites(rng.Split(), 6, 10, 40, 5000)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		a := Evaluate(sites, GreedyKMedian(sites, k))
+		if a.MeanRTT > prev+1e-12 {
+			t.Fatalf("k=%d mean RTT %v worse than smaller k %v", k, a.MeanRTT, prev)
+		}
+		prev = a.MeanRTT
+	}
+}
+
+func TestKEqualsAllSitesIsFree(t *testing.T) {
+	rng := workload.NewRNG(5)
+	sites := ClusteredSites(rng.Split(), 3, 4, 30, 2000)
+	a := Evaluate(sites, GreedyKMedian(sites, len(sites)))
+	if a.MeanRTT != 0 {
+		t.Fatalf("facility at every site should zero RTT, got %v", a.MeanRTT)
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	sites := []Site{{Loc: Point{0, 0}, Weight: 1}}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"evaluate empty", func() { Evaluate(sites, nil) }},
+		{"greedy k=0", func() { GreedyKMedian(sites, 0) }},
+		{"greedy k>n", func() { GreedyKMedian(sites, 2) }},
+		{"random k>n", func() { RandomPlacement(sites, 5, workload.NewRNG(1)) }},
+		{"local k=0", func() { LocalSearch(sites, 0, workload.NewRNG(1), 1) }},
+		{"clustered zero", func() { ClusteredSites(workload.NewRNG(1), 0, 1, 1, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// Property: placements are distinct valid indices of the requested size.
+func TestPropertyPlacementsValid(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		rng := workload.NewRNG(seed)
+		sites := ClusteredSites(rng.Split(), 4, 8, 40, 3000)
+		k := int(kRaw)%8 + 1
+		for _, placement := range [][]int{
+			GreedyKMedian(sites, k),
+			LocalSearch(sites, k, rng.Split(), 3),
+			RandomPlacement(sites, k, rng.Split()),
+		} {
+			if len(placement) != k {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, f := range placement {
+				if f < 0 || f >= len(sites) || seen[f] {
+					return false
+				}
+				seen[f] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

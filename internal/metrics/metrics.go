@@ -1,0 +1,356 @@
+// Package metrics provides the measurement plumbing used by every
+// experiment: streaming summaries (Welford), log-bucketed latency
+// histograms with percentile queries, counters, time series, and plain-text
+// table rendering for the benchmark harness output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/mean/variance/min/max in O(1) space using
+// Welford's online algorithm. The zero value is ready to use.
+type Summary struct {
+	n         int64
+	mean, m2  float64
+	min, max  float64
+	everySeen bool
+	total     float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	s.total += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.everySeen || x < s.min {
+		s.min = x
+	}
+	if !s.everySeen || x > s.max {
+		s.max = x
+	}
+	s.everySeen = true
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.total }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the population variance, or 0 if fewer than 2 observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds other into s, as if every observation of other had been
+// Added to s (Chan et al. parallel variance combination).
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	d := other.mean - s.mean
+	tot := n1 + n2
+	s.m2 += other.m2 + d*d*n1*n2/tot
+	s.mean += d * n2 / tot
+	s.n += other.n
+	s.total += other.total
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Histogram is a log-bucketed histogram for positive values spanning many
+// orders of magnitude (latencies from ns to hours). Relative bucket error
+// is bounded by the growth factor (~4.6% with 64 buckets per decade... we
+// use a fixed 1.07 growth giving <7% relative error). Zero and negative
+// values land in a dedicated underflow bucket.
+type Histogram struct {
+	counts    []int64
+	underflow int64
+	n         int64
+	sum       float64
+	min, max  float64
+	seen      bool
+}
+
+const (
+	histGrowth  = 1.07
+	histMinVal  = 1e-9 // 1 ns in seconds
+	histBuckets = 512  // covers ~1e-9 .. ~1e6 with 7% resolution
+)
+
+var logGrowth = math.Log(histGrowth)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, histBuckets)}
+}
+
+func bucketOf(v float64) int {
+	if v < histMinVal {
+		return -1
+	}
+	b := int(math.Log(v/histMinVal) / logGrowth)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketUpper(b int) float64 {
+	return histMinVal * math.Pow(histGrowth, float64(b+1))
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	h.sum += v
+	if !h.seen || v < h.min {
+		h.min = v
+	}
+	if !h.seen || v > h.max {
+		h.max = v
+	}
+	h.seen = true
+	if b := bucketOf(v); b >= 0 {
+		h.counts[b]++
+	} else {
+		h.underflow++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the exact mean (tracked outside the buckets).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) with
+// relative error bounded by the bucket growth factor. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(q * float64(h.n))
+	if target < h.underflow {
+		return histMinVal
+	}
+	cum := h.underflow
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// P50, P90, P99 are convenience percentile accessors.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P90 returns the 90th percentile estimate.
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+
+// P99 returns the 99th percentile estimate.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.underflow += other.underflow
+	h.n += other.n
+	h.sum += other.sum
+	if other.seen {
+		if !h.seen || other.min < h.min {
+			h.min = other.min
+		}
+		if !h.seen || other.max > h.max {
+			h.max = other.max
+		}
+		h.seen = true
+	}
+}
+
+// Counter is a monotonically increasing count with a name.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Value++ }
+
+// Add adds n; negative n panics (counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.Value += n
+}
+
+// Series is an append-only (x, y) sequence, used for figure output.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Registry is a named collection of summaries, histograms and counters,
+// shared by one simulation run.
+type Registry struct {
+	Summaries  map[string]*Summary
+	Histograms map[string]*Histogram
+	Counters   map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		Summaries:  make(map[string]*Summary),
+		Histograms: make(map[string]*Histogram),
+		Counters:   make(map[string]*Counter),
+	}
+}
+
+// Summary returns (creating if needed) the named summary.
+func (r *Registry) Summary(name string) *Summary {
+	s, ok := r.Summaries[name]
+	if !ok {
+		s = &Summary{}
+		r.Summaries[name] = s
+	}
+	return s
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.Histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.Histograms[name] = h
+	}
+	return h
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.Counters[name]
+	if !ok {
+		c = &Counter{Name: name}
+		r.Counters[name] = c
+	}
+	return c
+}
+
+// Names returns all registered metric names, sorted, for stable output.
+func (r *Registry) Names() []string {
+	var names []string
+	for n := range r.Summaries {
+		names = append(names, n)
+	}
+	for n := range r.Histograms {
+		names = append(names, n)
+	}
+	for n := range r.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FormatDuration renders a duration in seconds with an adaptive unit,
+// e.g. 1.5e-05 -> "15.0µs".
+func FormatDuration(sec float64) string {
+	abs := math.Abs(sec)
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < 1e-6:
+		return fmt.Sprintf("%.1fns", sec*1e9)
+	case abs < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	case abs < 120:
+		return fmt.Sprintf("%.2fs", sec)
+	default:
+		return fmt.Sprintf("%.1fmin", sec/60)
+	}
+}
+
+// FormatBytes renders a byte count with an adaptive binary unit.
+func FormatBytes(b float64) string {
+	abs := math.Abs(b)
+	switch {
+	case abs < 1024:
+		return fmt.Sprintf("%.0fB", b)
+	case abs < 1024*1024:
+		return fmt.Sprintf("%.1fKiB", b/1024)
+	case abs < 1024*1024*1024:
+		return fmt.Sprintf("%.1fMiB", b/(1024*1024))
+	case abs < 1024*1024*1024*1024:
+		return fmt.Sprintf("%.2fGiB", b/(1024*1024*1024))
+	default:
+		return fmt.Sprintf("%.2fTiB", b/(1024*1024*1024*1024))
+	}
+}

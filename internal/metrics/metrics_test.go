@@ -1,0 +1,323 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"continuum/internal/workload"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", s.Min(), s.Max())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v, want 15", s.Sum())
+	}
+	if math.Abs(s.Var()-2) > 1e-12 {
+		t.Fatalf("Var = %v, want 2", s.Var())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("min/max/mean = %v/%v/%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	rng := workload.NewRNG(1)
+	var all, a, b Summary
+	for i := 0; i < 1000; i++ {
+		v := rng.Norm(10, 3)
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v != %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Var()-all.Var()) > 1e-9 {
+		t.Fatalf("merged var %v != %v", a.Var(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Merge(&b) // merge empty into non-empty
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	var c Summary
+	c.Merge(&a) // merge non-empty into empty
+	if c.Count() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 ms
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i) * 1e-3)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	p50 := h.P50()
+	if p50 < 0.45 || p50 > 0.56 {
+		t.Fatalf("P50 = %v, want ~0.5", p50)
+	}
+	p99 := h.P99()
+	if p99 < 0.92 || p99 > 1.08 {
+		t.Fatalf("P99 = %v, want ~0.99", p99)
+	}
+	if math.Abs(h.Mean()-0.5005) > 1e-9 {
+		t.Fatalf("Mean = %v, want 0.5005 exactly", h.Mean())
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Add(0.25)
+	if h.Quantile(0) != 0.25 || h.Quantile(1) != 0.25 {
+		t.Fatal("q=0/q=1 should return min/max")
+	}
+}
+
+func TestHistogramUnderflow(t *testing.T) {
+	h := NewHistogram()
+	h.Add(0)
+	h.Add(-1)
+	h.Add(1)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != -1 || h.Max() != 1 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// Low quantiles land in the underflow bucket, reported as histMinVal.
+	if q := h.Quantile(0.1); q > 1e-8 {
+		t.Fatalf("underflow quantile = %v, want ~1e-9", q)
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	h := NewHistogram()
+	const v = 0.0371
+	for i := 0; i < 100; i++ {
+		h.Add(v)
+	}
+	q := h.Quantile(0.5)
+	if math.Abs(q-v)/v > 0.08 {
+		t.Fatalf("quantile %v deviates >8%% from %v", q, v)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i) * 1e-3)
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Add(float64(i) * 1e-3)
+	}
+	a.Merge(b)
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1.0 || a.Min() != 1e-3 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	p50 := a.P50()
+	if p50 < 0.45 || p50 > 0.56 {
+		t.Fatalf("merged P50 = %v", p50)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestPropertyHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := workload.NewRNG(seed)
+		h := NewHistogram()
+		for i := 0; i < int(n)+1; i++ {
+			h.Add(rng.Lognormal(0, 2))
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-12 {
+				return false
+			}
+			if v > h.Max()+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Summary("lat").Add(1)
+	r.Summary("lat").Add(3)
+	if r.Summary("lat").Mean() != 2 {
+		t.Fatal("registry summary not shared by name")
+	}
+	r.Counter("done").Inc()
+	r.Histogram("h").Add(0.1)
+	names := r.Names()
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	s.Append(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0s"},
+		{5e-9, "5.0ns"},
+		{1.5e-5, "15.0µs"},
+		{0.0042, "4.20ms"},
+		{1.25, "1.25s"},
+		{300, "5.0min"},
+	}
+	for _, tc := range cases {
+		if got := FormatDuration(tc.in); got != tc.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{100, "100B"},
+		{2048, "2.0KiB"},
+		{3 * 1024 * 1024, "3.0MiB"},
+		{1.5 * 1024 * 1024 * 1024, "1.50GiB"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.in); got != tc.want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("T1: demo", "policy", "latency", "energy")
+	tb.AddRow("edge", "1.2ms", "3J")
+	tb.AddRowf("cloud", 0.5, 42)
+	out := tb.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "policy") || !strings.Contains(out, "cloud") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped-extra")
+	out := tb.String()
+	if strings.Contains(out, "dropped-extra") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"q""z"`) {
+		t.Fatalf("quote cell not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("missing header: %q", csv)
+	}
+}

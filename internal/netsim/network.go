@@ -1,0 +1,310 @@
+// Package netsim is the network substrate of the continuum simulator: a
+// directed topology of links with propagation latency (speed-of-light
+// delays) and finite bandwidth, shortest-path routing, and flow-level
+// transfer simulation with max-min fair bandwidth sharing (the standard
+// flow-level model used by SimGrid-class simulators).
+//
+// Two transfer APIs are offered:
+//
+//   - Transfer: a long-lived flow that contends with other flows for link
+//     bandwidth; rates are recomputed with progressive filling whenever any
+//     flow starts or ends.
+//   - Message: an analytic, uncontended small-message send (propagation +
+//     size/bottleneck); appropriate for telemetry and control traffic whose
+//     bandwidth footprint is negligible.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"continuum/internal/sim"
+)
+
+// SpeedOfLightFiber is the propagation speed in optical fiber, km/s
+// (roughly 2/3 of c in vacuum).
+const SpeedOfLightFiber = 200000.0
+
+// PropagationDelay returns the one-way fiber propagation delay for a
+// distance in kilometers.
+func PropagationDelay(km float64) float64 {
+	return km / SpeedOfLightFiber
+}
+
+// Link is a directed edge with propagation latency and capacity.
+type Link struct {
+	ID       int
+	From, To int
+	Latency  float64 // one-way propagation, seconds
+	Capacity float64 // bytes/second
+
+	flows map[*Flow]struct{}
+
+	// BytesCarried accumulates delivered bytes for accounting (egress
+	// billing, WAN savings experiments).
+	BytesCarried float64
+}
+
+// Network is a topology bound to a simulation kernel.
+type Network struct {
+	k     *sim.Kernel
+	adj   [][]*Link
+	links []*Link
+
+	active map[*Flow]struct{}
+
+	// spt caches the shortest-path tree per source; invalidated whenever
+	// the topology changes. Routing is latency-static, so caching is exact.
+	spt map[int]*spTree
+
+	// Transfers counts completed Transfer flows; Messages counts Message
+	// sends.
+	Transfers, Messages int64
+}
+
+type spTree struct {
+	dist []float64
+	prev []*Link
+}
+
+// New creates a network with n nodes and no links.
+func New(k *sim.Kernel, n int) *Network {
+	if n < 0 {
+		panic("netsim: negative node count")
+	}
+	return &Network{
+		k:      k,
+		adj:    make([][]*Link, n),
+		active: make(map[*Flow]struct{}),
+		spt:    make(map[int]*spTree),
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// NumNodes returns the number of topology vertices.
+func (n *Network) NumNodes() int { return len(n.adj) }
+
+// NumLinks returns the number of directed links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// AddNode appends a vertex and returns its id.
+func (n *Network) AddNode() int {
+	n.adj = append(n.adj, nil)
+	clear(n.spt)
+	return len(n.adj) - 1
+}
+
+// AddLink adds a directed link and returns it. Latency must be >= 0 and
+// capacity > 0.
+func (n *Network) AddLink(from, to int, latency, capacity float64) *Link {
+	n.checkNode(from)
+	n.checkNode(to)
+	if latency < 0 {
+		panic(fmt.Sprintf("netsim: negative latency %v", latency))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: capacity %v <= 0", capacity))
+	}
+	l := &Link{
+		ID: len(n.links), From: from, To: to,
+		Latency: latency, Capacity: capacity,
+		flows: make(map[*Flow]struct{}),
+	}
+	n.links = append(n.links, l)
+	n.adj[from] = append(n.adj[from], l)
+	clear(n.spt)
+	return l
+}
+
+// AddDuplexLink adds a pair of directed links (one each way) with the same
+// latency and per-direction capacity, returning both.
+func (n *Network) AddDuplexLink(a, b int, latency, capacity float64) (ab, ba *Link) {
+	return n.AddLink(a, b, latency, capacity), n.AddLink(b, a, latency, capacity)
+}
+
+// Links returns all directed links (shared slice; do not mutate).
+func (n *Network) Links() []*Link { return n.links }
+
+func (n *Network) checkNode(id int) {
+	if id < 0 || id >= len(n.adj) {
+		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", id, len(n.adj)))
+	}
+}
+
+// Path returns the minimum-latency link path from a to b, or an error if b
+// is unreachable. Same-node paths are empty and nil error.
+func (n *Network) Path(a, b int) ([]*Link, error) {
+	n.checkNode(a)
+	n.checkNode(b)
+	if a == b {
+		return nil, nil
+	}
+	tree, ok := n.spt[a]
+	if !ok {
+		dist, prev := n.dijkstra(a)
+		tree = &spTree{dist: dist, prev: prev}
+		n.spt[a] = tree
+	}
+	dist, prev := tree.dist, tree.prev
+	if math.IsInf(dist[b], 1) {
+		return nil, fmt.Errorf("netsim: node %d unreachable from %d", b, a)
+	}
+	var path []*Link
+	for at := b; at != a; {
+		l := prev[at]
+		path = append(path, l)
+		at = l.From
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Latency returns the one-way minimum propagation latency from a to b, or
+// +Inf if unreachable.
+func (n *Network) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	path, err := n.Path(a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return pathLatency(path)
+}
+
+// RTT returns the round-trip latency between a and b.
+func (n *Network) RTT(a, b int) float64 {
+	return n.Latency(a, b) + n.Latency(b, a)
+}
+
+// Bottleneck returns the minimum link capacity along the minimum-latency
+// path from a to b, +Inf for a == b, and 0 if unreachable.
+func (n *Network) Bottleneck(a, b int) float64 {
+	if a == b {
+		return math.Inf(1)
+	}
+	path, err := n.Path(a, b)
+	if err != nil {
+		return 0
+	}
+	bn := math.Inf(1)
+	for _, l := range path {
+		if l.Capacity < bn {
+			bn = l.Capacity
+		}
+	}
+	return bn
+}
+
+func pathLatency(path []*Link) float64 {
+	sum := 0.0
+	for _, l := range path {
+		sum += l.Latency
+	}
+	return sum
+}
+
+// dijkstra computes latency-shortest paths from src, returning the distance
+// array and the incoming link for each reached vertex.
+func (n *Network) dijkstra(src int) ([]float64, []*Link) {
+	dist := make([]float64, len(n.adj))
+	prev := make([]*Link, len(n.adj))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if it.d > dist[it.id] {
+			continue
+		}
+		for _, l := range n.adj[it.id] {
+			nd := it.d + l.Latency
+			if nd < dist[l.To] {
+				dist[l.To] = nd
+				prev[l.To] = l
+				heap.Push(pq, nodeDist{l.To, nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+type nodeDist struct {
+	id int
+	d  float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Message schedules fn after the uncontended delivery time of a size-byte
+// message from a to b: path propagation plus size/bottleneck transmission.
+// It panics if b is unreachable (callers route over connected topologies).
+func (n *Network) Message(a, b int, size float64, fn func()) {
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %v", size))
+	}
+	n.Messages++
+	if a == b {
+		n.k.After(0, fn)
+		return
+	}
+	path, err := n.Path(a, b)
+	if err != nil {
+		panic(err)
+	}
+	d := pathLatency(path)
+	bn := math.Inf(1)
+	for _, l := range path {
+		if l.Capacity < bn {
+			bn = l.Capacity
+		}
+		l.BytesCarried += size
+	}
+	if size > 0 && !math.IsInf(bn, 1) {
+		d += size / bn
+	}
+	n.k.After(d, fn)
+}
+
+// MessageTime returns the uncontended delivery time Message would use,
+// without sending anything. It returns +Inf if unreachable.
+func (n *Network) MessageTime(a, b int, size float64) float64 {
+	if a == b {
+		return 0
+	}
+	path, err := n.Path(a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	d := pathLatency(path)
+	bn := math.Inf(1)
+	for _, l := range path {
+		if l.Capacity < bn {
+			bn = l.Capacity
+		}
+	}
+	if size > 0 && !math.IsInf(bn, 1) {
+		d += size / bn
+	}
+	return d
+}

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"continuum/internal/sim"
+	"continuum/internal/workload"
+)
+
+func TestPropagationDelay(t *testing.T) {
+	// 200,000 km of fiber: 1 second.
+	if d := PropagationDelay(200000); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("PropagationDelay = %v, want 1", d)
+	}
+	// Chicago to Amsterdam ~6600 km: ~33 ms one way.
+	if d := PropagationDelay(6600); d < 0.03 || d > 0.04 {
+		t.Fatalf("transatlantic delay = %v, want ~33ms", d)
+	}
+}
+
+func TestAddNodesAndLinks(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2)
+	if n.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	id := n.AddNode()
+	if id != 2 || n.NumNodes() != 3 {
+		t.Fatalf("AddNode -> %d, NumNodes = %d", id, n.NumNodes())
+	}
+	n.AddDuplexLink(0, 1, 0.001, 1e9)
+	if n.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2", n.NumLinks())
+	}
+}
+
+func TestBadTopologyPanics(t *testing.T) {
+	k := sim.NewKernel()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"negative nodes", func() { New(k, -1) }},
+		{"link out of range", func() { New(k, 1).AddLink(0, 5, 0, 1) }},
+		{"negative latency", func() { New(k, 2).AddLink(0, 1, -1, 1) }},
+		{"zero capacity", func() { New(k, 2).AddLink(0, 1, 0, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestPathShortestByLatency(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 4)
+	// 0 -> 1 -> 3 with total latency 2; 0 -> 2 -> 3 with total latency 10.
+	n.AddLink(0, 1, 1, 1e9)
+	n.AddLink(1, 3, 1, 1e9)
+	n.AddLink(0, 2, 5, 1e9)
+	n.AddLink(2, 3, 5, 1e9)
+	path, err := n.Path(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[0].To != 1 || path[1].To != 3 {
+		t.Fatalf("path = %+v, want via node 1", path)
+	}
+	if lat := n.Latency(0, 3); math.Abs(lat-2) > 1e-12 {
+		t.Fatalf("Latency = %v, want 2", lat)
+	}
+}
+
+func TestPathSameNode(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2)
+	path, err := n.Path(1, 1)
+	if err != nil || path != nil {
+		t.Fatalf("same-node path = %v, %v", path, err)
+	}
+	if n.Latency(1, 1) != 0 {
+		t.Fatal("same-node latency != 0")
+	}
+}
+
+func TestPathUnreachable(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 3)
+	n.AddLink(0, 1, 1, 1e9)
+	if _, err := n.Path(0, 2); err == nil {
+		t.Fatal("unreachable node returned nil error")
+	}
+	if !math.IsInf(n.Latency(0, 2), 1) {
+		t.Fatal("unreachable latency != +Inf")
+	}
+	if n.Bottleneck(0, 2) != 0 {
+		t.Fatal("unreachable bottleneck != 0")
+	}
+}
+
+func TestRouteCacheInvalidation(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 3)
+	n.AddLink(0, 1, 10, 1e9)
+	n.AddLink(1, 2, 10, 1e9)
+	if lat := n.Latency(0, 2); math.Abs(lat-20) > 1e-12 {
+		t.Fatalf("Latency = %v, want 20", lat)
+	}
+	// Adding a faster direct link must invalidate the cached route.
+	n.AddLink(0, 2, 1, 1e9)
+	if lat := n.Latency(0, 2); math.Abs(lat-1) > 1e-12 {
+		t.Fatalf("Latency after new link = %v, want 1", lat)
+	}
+}
+
+func TestRTTAsymmetric(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2)
+	n.AddLink(0, 1, 1, 1e9)
+	n.AddLink(1, 0, 3, 1e9)
+	if rtt := n.RTT(0, 1); math.Abs(rtt-4) > 1e-12 {
+		t.Fatalf("RTT = %v, want 4", rtt)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 3)
+	n.AddLink(0, 1, 1, 1e9)
+	n.AddLink(1, 2, 1, 1e6)
+	if bn := n.Bottleneck(0, 2); bn != 1e6 {
+		t.Fatalf("Bottleneck = %v, want 1e6", bn)
+	}
+	if !math.IsInf(n.Bottleneck(1, 1), 1) {
+		t.Fatal("same-node bottleneck != +Inf")
+	}
+}
+
+func TestMessageDeliveryTime(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 2)
+	n.AddLink(0, 1, 0.010, 1e6) // 10ms + 1MB/s
+	var at float64 = -1
+	n.Message(0, 1, 1e6, func() { at = k.Now() })
+	k.Run()
+	// 10ms propagation + 1s transmission
+	if math.Abs(at-1.010) > 1e-9 {
+		t.Fatalf("message delivered at %v, want 1.010", at)
+	}
+	if n.Messages != 1 {
+		t.Fatalf("Messages = %d", n.Messages)
+	}
+}
+
+func TestMessageSameNodeImmediate(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 1)
+	var at float64 = -1
+	n.Message(0, 0, 1e9, func() { at = k.Now() })
+	k.Run()
+	if at != 0 {
+		t.Fatalf("same-node message at %v, want 0", at)
+	}
+}
+
+func TestMessageTimeMatchesMessage(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 3)
+	n.AddLink(0, 1, 0.005, 1e7)
+	n.AddLink(1, 2, 0.005, 1e6)
+	want := n.MessageTime(0, 2, 5e5)
+	var at float64 = -1
+	n.Message(0, 2, 5e5, func() { at = k.Now() })
+	k.Run()
+	if math.Abs(at-want) > 1e-12 {
+		t.Fatalf("Message at %v, MessageTime %v", at, want)
+	}
+	// Expected: 10ms prop + 5e5/1e6 = 0.51s
+	if math.Abs(want-0.51) > 1e-9 {
+		t.Fatalf("MessageTime = %v, want 0.51", want)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	k := sim.NewKernel()
+	n, hub, leaves := Star(k, StarSpec{Leaves: 5, LeafLatency: 0.001, LeafCapacity: 1e9})
+	if len(leaves) != 5 || n.NumNodes() != 6 {
+		t.Fatalf("star shape wrong: %d leaves, %d nodes", len(leaves), n.NumNodes())
+	}
+	// Leaf to leaf goes through the hub: 2ms.
+	if lat := n.Latency(leaves[0], leaves[4]); math.Abs(lat-0.002) > 1e-12 {
+		t.Fatalf("leaf-leaf latency = %v", lat)
+	}
+	if lat := n.Latency(hub, leaves[0]); math.Abs(lat-0.001) > 1e-12 {
+		t.Fatalf("hub-leaf latency = %v", lat)
+	}
+}
+
+func TestThreeTierTopology(t *testing.T) {
+	k := sim.NewKernel()
+	n, sensors, gateways, core, cloud := ThreeTier(k, ThreeTierSpec{
+		Gateways: 3, SensorsPerGateway: 4,
+		SensorLatency: 0.002, SensorCapacity: 1e6,
+		MetroLatency: 0.005, MetroCapacity: 1e8,
+		WANLatency: 0.040, WANCapacity: 1e9,
+	})
+	if len(gateways) != 3 || len(sensors) != 3 || len(sensors[0]) != 4 {
+		t.Fatal("three-tier shape wrong")
+	}
+	if n.NumNodes() != 3*4+3+2 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	// Sensor to cloud: 2 + 5 + 40 ms.
+	lat := n.Latency(sensors[0][0], cloud)
+	if math.Abs(lat-0.047) > 1e-12 {
+		t.Fatalf("sensor->cloud latency = %v, want 0.047", lat)
+	}
+	// Sensor to its own gateway is the cheap hop.
+	if lat := n.Latency(sensors[1][2], gateways[1]); math.Abs(lat-0.002) > 1e-12 {
+		t.Fatalf("sensor->gateway latency = %v", lat)
+	}
+	if core == cloud {
+		t.Fatal("core and cloud ids collide")
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	k := sim.NewKernel()
+	n, ids := Line(k, 5, 0.01, 1e9)
+	if len(ids) != 5 {
+		t.Fatal("line ids wrong")
+	}
+	if lat := n.Latency(ids[0], ids[4]); math.Abs(lat-0.04) > 1e-12 {
+		t.Fatalf("end-to-end latency = %v, want 0.04", lat)
+	}
+}
+
+// Property: latency satisfies the triangle inequality over shortest paths
+// (routing optimality), on random connected graphs.
+func TestPropertyShortestPathTriangle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		k := sim.NewKernel()
+		const nn = 12
+		n := New(k, nn)
+		// Ring for connectivity plus random chords.
+		for i := 0; i < nn; i++ {
+			n.AddDuplexLink(i, (i+1)%nn, rng.Range(0.001, 0.02), 1e9)
+		}
+		for i := 0; i < 8; i++ {
+			a, b := rng.Intn(nn), rng.Intn(nn)
+			if a != b {
+				n.AddDuplexLink(a, b, rng.Range(0.001, 0.02), 1e9)
+			}
+		}
+		for trial := 0; trial < 20; trial++ {
+			a, b, c := rng.Intn(nn), rng.Intn(nn), rng.Intn(nn)
+			if n.Latency(a, c) > n.Latency(a, b)+n.Latency(b, c)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"continuum/internal/sim"
+)
+
+func gatewaySpec() Spec {
+	return Spec{
+		Name: "gw", Class: Gateway,
+		Cores: 2, CoreFlops: 1e9, MemBytes: 1 << 30,
+		IdleWatts: 1, ActiveWattsCore: 4,
+	}
+}
+
+func gpuSpec() Spec {
+	s := gatewaySpec()
+	s.Name = "gpu-node"
+	s.Accel = Accelerator{Kind: GPU, Count: 1, Flops: 1e12, Watts: 100}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := gatewaySpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }},
+		{"zero cores", func(s *Spec) { s.Cores = 0 }},
+		{"zero flops", func(s *Spec) { s.CoreFlops = 0 }},
+		{"negative accel count", func(s *Spec) { s.Accel.Count = -1 }},
+		{"accel without flops", func(s *Spec) { s.Accel = Accelerator{Kind: GPU, Count: 1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := gatewaySpec()
+			tc.mutate(&s)
+			if s.Validate() == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestClassAndAccelStrings(t *testing.T) {
+	if Sensor.String() != "sensor" || HPC.String() != "hpc" {
+		t.Fatal("class names wrong")
+	}
+	if GPU.String() != "gpu" || NoAccel.String() != "none" {
+		t.Fatal("accel names wrong")
+	}
+	if Class(99).String() == "" || AccelKind(99).String() == "" {
+		t.Fatal("unknown enums should still render")
+	}
+}
+
+func TestScalarAndTensorTime(t *testing.T) {
+	s := gpuSpec()
+	if got := s.ScalarTime(2e9); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ScalarTime = %v, want 2", got)
+	}
+	// Matching accelerator: fast path.
+	if got := s.TensorTime(1e12, GPU); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TensorTime(GPU) = %v, want 1", got)
+	}
+	// Mismatched kind falls back to the core.
+	if got := s.TensorTime(1e9, TPU); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TensorTime(TPU fallback) = %v, want 1", got)
+	}
+	if s.TensorTime(0, GPU) != 0 {
+		t.Fatal("zero tensor work should cost 0")
+	}
+}
+
+func TestExecuteOccupiesCore(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gatewaySpec())
+	var doneAt float64 = -1
+	n.Execute(2e9, 0, NoAccel, func() { doneAt = k.Now() })
+	k.Run()
+	if math.Abs(doneAt-2) > 1e-12 {
+		t.Fatalf("done at %v, want 2", doneAt)
+	}
+	if n.TasksStarted != 1 || n.TasksDone != 1 {
+		t.Fatalf("task counters %d/%d", n.TasksStarted, n.TasksDone)
+	}
+	if n.Cores.InUse() != 0 {
+		t.Fatal("core not released")
+	}
+}
+
+func TestExecuteQueuesBeyondCores(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gatewaySpec()) // 2 cores
+	var done []float64
+	for i := 0; i < 3; i++ {
+		n.Execute(1e9, 0, NoAccel, func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-12 {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestExecuteUsesAccelerator(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gpuSpec())
+	var doneAt float64 = -1
+	n.Execute(0, 1e12, GPU, func() { doneAt = k.Now() })
+	k.Run()
+	if math.Abs(doneAt-1) > 1e-12 {
+		t.Fatalf("GPU exec done at %v, want 1", doneAt)
+	}
+	if n.Accels.InUse() != 0 {
+		t.Fatal("accelerator not released")
+	}
+}
+
+func TestExecuteAccelFallbackOnPlainNode(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gatewaySpec()) // no accel
+	var doneAt float64 = -1
+	n.Execute(0, 2e9, GPU, func() { doneAt = k.Now() })
+	k.Run()
+	if math.Abs(doneAt-2) > 1e-12 {
+		t.Fatalf("fallback exec done at %v, want 2 (core speed)", doneAt)
+	}
+}
+
+func TestExecuteEnergyAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gatewaySpec())   // idle 1W, +4W per busy core
+	n.Execute(2e9, 0, NoAccel, nil) // 2s at 5W
+	k.RunUntil(10)
+	// 10s idle (1W) + 2s active (4W) = 10 + 8 = 18 J
+	if j := n.Meter.Joules(); math.Abs(j-18) > 1e-9 {
+		t.Fatalf("Joules = %v, want 18", j)
+	}
+}
+
+func TestAccelSerializesOnDeviceCount(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0, gpuSpec()) // 2 cores but 1 GPU
+	var done []float64
+	for i := 0; i < 2; i++ {
+		n.Execute(0, 1e12, GPU, func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	// Both tasks want the single GPU: finish at 1 and 2.
+	if math.Abs(done[0]-1) > 1e-12 || math.Abs(done[1]-2) > 1e-12 {
+		t.Fatalf("done = %v, want [1 2]", done)
+	}
+}
+
+func TestDollarCost(t *testing.T) {
+	s := gatewaySpec()
+	s.DollarPerHour = 36
+	k := sim.NewKernel()
+	n := New(k, 0, s)
+	if c := n.DollarCost(100); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("DollarCost(100s) = %v, want 1", c)
+	}
+}
+
+func TestCatalogSpecsValid(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 6 {
+		t.Fatalf("catalog has %d entries, want >= 6", len(cat))
+	}
+	for name, spec := range cat {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("catalog spec %q invalid: %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("catalog key %q != spec name %q", name, spec.Name)
+		}
+	}
+	// Tiers should be strictly faster going inward (scalar per-node).
+	tiers := []string{"sensor", "gateway", "fog", "campus", "cloud", "hpc"}
+	prev := 0.0
+	for _, tier := range tiers {
+		s := cat[tier]
+		agg := float64(s.Cores) * s.CoreFlops
+		if agg <= prev {
+			t.Errorf("tier %s aggregate flops %v not above previous %v", tier, agg, prev)
+		}
+		prev = agg
+	}
+}
+
+func TestNewPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid spec did not panic")
+		}
+	}()
+	New(sim.NewKernel(), 0, Spec{})
+}

@@ -1,0 +1,186 @@
+package placement
+
+import (
+	"math"
+
+	"continuum/internal/task"
+)
+
+// BatchSchedule maps a bag of independent tasks onto nodes: Assign[i] is
+// the node index for tasks[i].
+type BatchSchedule struct {
+	Algorithm   string
+	Assign      []int
+	EstMakespan float64
+}
+
+// batchState tracks per-node-core availability during batch scheduling,
+// plus the movement cost of each task's inputs from the bag's origin.
+type batchState struct {
+	env    *Env
+	origin int
+	slots  [][]float64
+}
+
+func newBatchState(env *Env, origin int) *batchState {
+	bs := &batchState{env: env, origin: origin, slots: make([][]float64, len(env.Nodes))}
+	for i, n := range env.Nodes {
+		bs.slots[i] = make([]float64, n.Spec.Cores)
+	}
+	return bs
+}
+
+// completion returns the earliest completion time of t on node ni and the
+// core index used.
+func (bs *batchState) completion(t *task.Task, ni int) (float64, int) {
+	n := bs.env.Nodes[ni]
+	move := 0.0
+	if ib := inputBytes(t); ib > 0 {
+		move = bs.env.Net.MessageTime(bs.origin, n.ID, ib)
+	}
+	core, free := 0, bs.slots[ni][0]
+	for c, f := range bs.slots[ni] {
+		if f < free {
+			core, free = c, f
+		}
+	}
+	start := math.Max(free, move)
+	return start + n.ExecTime(t.ScalarWork, t.TensorWork, t.Accel), core
+}
+
+// place books the slot.
+func (bs *batchState) place(ni, core int, finish float64) {
+	bs.slots[ni][core] = finish
+}
+
+// bestNode returns the node minimizing completion for t, with the time
+// and core.
+func (bs *batchState) bestNode(t *task.Task) (ni int, finish float64, core int) {
+	finish = math.Inf(1)
+	for cand := range bs.env.Nodes {
+		f, c := bs.completion(t, cand)
+		if f < finish {
+			ni, finish, core = cand, f, c
+		}
+	}
+	return ni, finish, core
+}
+
+// secondBest returns the second-lowest completion time for t (used by
+// Sufferage); +Inf with fewer than two nodes.
+func (bs *batchState) secondBest(t *task.Task) float64 {
+	best, second := math.Inf(1), math.Inf(1)
+	for cand := range bs.env.Nodes {
+		f, _ := bs.completion(t, cand)
+		if f < best {
+			second = best
+			best = f
+		} else if f < second {
+			second = f
+		}
+	}
+	return second
+}
+
+// batchHeuristic runs the generic select-assign loop: at each step, pick
+// selects one unassigned task index given its current best completion
+// times; the task is assigned to its best node.
+func batchHeuristic(env *Env, origin int, tasks []*task.Task, algorithm string,
+	pick func(best []float64, sufferage []float64, unassigned []int) int) BatchSchedule {
+	bs := newBatchState(env, origin)
+	assign := make([]int, len(tasks))
+	for i := range assign {
+		assign[i] = -1
+	}
+	unassigned := make([]int, len(tasks))
+	for i := range unassigned {
+		unassigned[i] = i
+	}
+	makespan := 0.0
+	for len(unassigned) > 0 {
+		best := make([]float64, len(unassigned))
+		suff := make([]float64, len(unassigned))
+		for j, ti := range unassigned {
+			_, f, _ := bs.bestNode(tasks[ti])
+			best[j] = f
+			suff[j] = bs.secondBest(tasks[ti]) - f
+		}
+		j := pick(best, suff, unassigned)
+		ti := unassigned[j]
+		ni, finish, core := bs.bestNode(tasks[ti])
+		assign[ti] = ni
+		bs.place(ni, core, finish)
+		if finish > makespan {
+			makespan = finish
+		}
+		unassigned = append(unassigned[:j], unassigned[j+1:]...)
+	}
+	return BatchSchedule{Algorithm: algorithm, Assign: assign, EstMakespan: makespan}
+}
+
+// MinMin repeatedly assigns the task with the *smallest* best-completion
+// time: short tasks pack first, machines stay balanced early. The classic
+// bag-of-tasks heuristic (Ibarra-Kim family).
+func MinMin(env *Env, origin int, tasks []*task.Task) BatchSchedule {
+	return batchHeuristic(env, origin, tasks, "min-min",
+		func(best, _ []float64, _ []int) int {
+			j := 0
+			for i := 1; i < len(best); i++ {
+				if best[i] < best[j] {
+					j = i
+				}
+			}
+			return j
+		})
+}
+
+// MaxMin repeatedly assigns the task with the *largest* best-completion
+// time: long tasks claim fast machines first, avoiding a straggler tail.
+func MaxMin(env *Env, origin int, tasks []*task.Task) BatchSchedule {
+	return batchHeuristic(env, origin, tasks, "max-min",
+		func(best, _ []float64, _ []int) int {
+			j := 0
+			for i := 1; i < len(best); i++ {
+				if best[i] > best[j] {
+					j = i
+				}
+			}
+			return j
+		})
+}
+
+// Sufferage assigns the task that would *suffer* most from losing its
+// best machine (largest gap to its second-best completion) — the
+// Maheswaran et al. heuristic that often beats both Min-Min and Max-Min
+// on heterogeneous resources.
+func Sufferage(env *Env, origin int, tasks []*task.Task) BatchSchedule {
+	return batchHeuristic(env, origin, tasks, "sufferage",
+		func(_, suff []float64, _ []int) int {
+			j := 0
+			for i := 1; i < len(suff); i++ {
+				if suff[i] > suff[j] {
+					j = i
+				}
+			}
+			return j
+		})
+}
+
+// BatchRandom assigns uniformly at random — the bag-of-tasks floor.
+// Provided for experiment baselines; takes the completion model into
+// account only for the makespan estimate.
+func BatchRandom(env *Env, origin int, tasks []*task.Task, intn func(int) int) BatchSchedule {
+	bs := newBatchState(env, origin)
+	assign := make([]int, len(tasks))
+	makespan := 0.0
+	for i, t := range tasks {
+		ni := intn(len(env.Nodes))
+		f, core := bs.completion(t, ni)
+		assign[i] = ni
+		bs.place(ni, core, f)
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return BatchSchedule{Algorithm: "random", Assign: assign, EstMakespan: makespan}
+}

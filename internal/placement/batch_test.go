@@ -1,0 +1,152 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"continuum/internal/task"
+	"continuum/internal/workload"
+)
+
+func bagOfTasks(rng *workload.RNG, n int) []*task.Task {
+	sizes := workload.NewLognormalSize(rng, 22.5, 1.0) // ~6e9 flops median
+	tasks := make([]*task.Task, n)
+	for i := range tasks {
+		tasks[i] = &task.Task{Name: "t", ScalarWork: sizes.Next()}
+	}
+	return tasks
+}
+
+func allAssigned(t *testing.T, s BatchSchedule, n, nodes int) {
+	t.Helper()
+	if len(s.Assign) != n {
+		t.Fatalf("%s: assigned %d of %d", s.Algorithm, len(s.Assign), n)
+	}
+	for i, ni := range s.Assign {
+		if ni < 0 || ni >= nodes {
+			t.Fatalf("%s: task %d on node %d", s.Algorithm, i, ni)
+		}
+	}
+	if s.EstMakespan <= 0 {
+		t.Fatalf("%s: makespan %v", s.Algorithm, s.EstMakespan)
+	}
+}
+
+func TestBatchHeuristicsAssignEverything(t *testing.T) {
+	_, env := testEnv(t)
+	tasks := bagOfTasks(workload.NewRNG(1), 40)
+	for _, s := range []BatchSchedule{
+		MinMin(env, 0, tasks),
+		MaxMin(env, 0, tasks),
+		Sufferage(env, 0, tasks),
+		BatchRandom(env, 0, tasks, workload.NewRNG(2).Intn),
+	} {
+		allAssigned(t, s, len(tasks), len(env.Nodes))
+	}
+}
+
+func TestBatchHeuristicsBeatRandom(t *testing.T) {
+	_, env := testEnv(t)
+	rng := workload.NewRNG(3)
+	var heuristic, random float64
+	for trial := 0; trial < 10; trial++ {
+		tasks := bagOfTasks(rng.Split(), 30)
+		heuristic += MinMin(env, 0, tasks).EstMakespan
+		random += BatchRandom(env, 0, tasks, rng.Split().Intn).EstMakespan
+	}
+	if heuristic >= random {
+		t.Fatalf("min-min mean %v not below random %v", heuristic/10, random/10)
+	}
+}
+
+func TestMaxMinHandlesStragglers(t *testing.T) {
+	// One giant task plus many small ones: max-min places the giant on
+	// the fastest node first; min-min leaves it for last (possibly on a
+	// slow machine). Max-min should not lose on this adversarial bag.
+	_, env := testEnv(t)
+	var tasks []*task.Task
+	tasks = append(tasks, &task.Task{Name: "giant", ScalarWork: 4e11})
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, &task.Task{Name: "small", ScalarWork: 1e9})
+	}
+	mm := MaxMin(env, 0, tasks)
+	// The giant must land on the fastest node (cloud, index 2 in testEnv).
+	if env.Nodes[mm.Assign[0]].Name != "cloud" {
+		t.Fatalf("max-min placed the giant on %s", env.Nodes[mm.Assign[0]].Name)
+	}
+}
+
+func TestSufferageUsesSecondBestGap(t *testing.T) {
+	_, env := testEnv(t)
+	tasks := bagOfTasks(workload.NewRNG(4), 30)
+	s := Sufferage(env, 0, tasks)
+	allAssigned(t, s, len(tasks), len(env.Nodes))
+	// Sufferage should be within a small factor of min-min on benign bags.
+	m := MinMin(env, 0, tasks)
+	if s.EstMakespan > 2*m.EstMakespan {
+		t.Fatalf("sufferage %v far above min-min %v", s.EstMakespan, m.EstMakespan)
+	}
+}
+
+func TestBatchDeterminism(t *testing.T) {
+	_, env := testEnv(t)
+	tasks := bagOfTasks(workload.NewRNG(5), 25)
+	a := MinMin(env, 0, tasks)
+	b := MinMin(env, 0, tasks)
+	if a.EstMakespan != b.EstMakespan {
+		t.Fatal("min-min not deterministic")
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestBatchEmptyBag(t *testing.T) {
+	_, env := testEnv(t)
+	s := MinMin(env, 0, nil)
+	if len(s.Assign) != 0 || s.EstMakespan != 0 {
+		t.Fatalf("empty bag schedule: %+v", s)
+	}
+}
+
+// Property: makespan >= the largest single-task best-case execution and
+// >= total work / aggregate capacity, for every heuristic.
+func TestPropertyBatchMakespanBounds(t *testing.T) {
+	_, env := testEnv(t)
+	capacity := 0.0
+	fastest := 0.0
+	for _, n := range env.Nodes {
+		capacity += float64(n.Spec.Cores) * n.CoreFlops
+		if n.CoreFlops > fastest {
+			fastest = n.CoreFlops
+		}
+	}
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := workload.NewRNG(seed)
+		tasks := bagOfTasks(rng, int(nRaw%30)+1)
+		total, biggest := 0.0, 0.0
+		for _, tk := range tasks {
+			total += tk.ScalarWork
+			if tk.ScalarWork > biggest {
+				biggest = tk.ScalarWork
+			}
+		}
+		lower := biggest / fastest
+		if wb := total / capacity; wb > lower {
+			lower = wb
+		}
+		for _, s := range []BatchSchedule{
+			MinMin(env, 0, tasks), MaxMin(env, 0, tasks), Sufferage(env, 0, tasks),
+		} {
+			if s.EstMakespan < lower-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,306 @@
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"continuum/internal/node"
+	"continuum/internal/task"
+	"continuum/internal/workload"
+)
+
+// Schedule is a static workflow mapping: task -> node index (into the
+// scheduler's node slice), with the scheduler's own makespan estimate.
+// The DAG runner in internal/core executes schedules under the full
+// network/contention model, so EstMakespan and measured makespan can
+// diverge; the estimate uses the same cost model all schedulers share,
+// making their estimates comparable.
+type Schedule struct {
+	Algorithm   string
+	Assign      map[task.ID]int
+	EstMakespan float64
+	// EstFinish records each task's estimated finish time.
+	EstFinish map[task.ID]float64
+}
+
+// commCost returns the estimated seconds to move e.Bytes from node a to
+// node b: zero when colocated, otherwise latency + bytes/bottleneck.
+func commCost(env *Env, e task.Edge, a, b *node.Node) float64 {
+	if a.ID == b.ID {
+		return 0
+	}
+	return env.Net.MessageTime(a.ID, b.ID, e.Bytes)
+}
+
+// execCost returns t's execution time on n.
+func execCost(t *task.Task, n *node.Node) float64 {
+	return n.ExecTime(t.ScalarWork, t.TensorWork, t.Accel)
+}
+
+// meanExecCost averages t's execution time over all nodes (HEFT's
+// heterogeneity-averaging rank basis).
+func meanExecCost(env *Env, t *task.Task) float64 {
+	sum := 0.0
+	for _, n := range env.Nodes {
+		sum += execCost(t, n)
+	}
+	return sum / float64(len(env.Nodes))
+}
+
+// meanCommCost averages the movement cost of e over all ordered node
+// pairs, including colocated (zero) pairs — the standard HEFT mean.
+func meanCommCost(env *Env, e task.Edge) float64 {
+	nn := len(env.Nodes)
+	if nn < 2 {
+		return 0
+	}
+	sum := 0.0
+	for _, a := range env.Nodes {
+		for _, b := range env.Nodes {
+			if a.ID != b.ID {
+				sum += env.Net.MessageTime(a.ID, b.ID, e.Bytes)
+			}
+		}
+	}
+	return sum / float64(nn*nn)
+}
+
+// upwardRanks computes HEFT's upward rank for every task: mean execution
+// plus the maximum over successors of (mean comm + successor rank).
+func upwardRanks(env *Env, d *task.DAG) []float64 {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	rank := make([]float64, d.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := 0.0
+		for _, e := range d.Successors(u) {
+			cand := meanCommCost(env, e) + rank[e.To]
+			if cand > best {
+				best = cand
+			}
+		}
+		rank[u] = meanExecCost(env, d.Tasks[u]) + best
+	}
+	return rank
+}
+
+// downwardRanks computes CPOP's downward rank: longest mean-cost path from
+// any root to the task (excluding the task's own execution).
+func downwardRanks(env *Env, d *task.DAG) []float64 {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	rank := make([]float64, d.N())
+	for _, u := range order {
+		for _, e := range d.Successors(u) {
+			cand := rank[u] + meanExecCost(env, d.Tasks[u]) + meanCommCost(env, e)
+			if cand > rank[e.To] {
+				rank[e.To] = cand
+			}
+		}
+	}
+	return rank
+}
+
+// coreState tracks per-node core availability during list scheduling.
+// Each node contributes Spec.Cores slots; a task occupies the earliest
+// free slot (no insertion — slots only move forward).
+type coreState struct {
+	slots [][]float64 // per node: core free times
+}
+
+func newCoreState(env *Env) *coreState {
+	cs := &coreState{slots: make([][]float64, len(env.Nodes))}
+	for i, n := range env.Nodes {
+		cs.slots[i] = make([]float64, n.Spec.Cores)
+	}
+	return cs
+}
+
+// earliest returns the index and free time of node ni's earliest core.
+func (cs *coreState) earliest(ni int) (int, float64) {
+	best, bestT := 0, cs.slots[ni][0]
+	for c, t := range cs.slots[ni] {
+		if t < bestT {
+			best, bestT = c, t
+		}
+	}
+	return best, bestT
+}
+
+// place occupies node ni's given core until finish.
+func (cs *coreState) place(ni, core int, finish float64) {
+	cs.slots[ni][core] = finish
+}
+
+// eft computes the earliest finish time of task u on node ni given
+// predecessor placements, and the core used.
+func eft(env *Env, d *task.DAG, u task.ID, ni int,
+	assign map[task.ID]int, finish map[task.ID]float64, cs *coreState) (float64, int) {
+	n := env.Nodes[ni]
+	ready := 0.0
+	for _, e := range d.Predecessors(u) {
+		p := e.From
+		arr := finish[p] + commCost(env, e, env.Nodes[assign[p]], n)
+		if arr > ready {
+			ready = arr
+		}
+	}
+	core, free := cs.earliest(ni)
+	start := math.Max(ready, free)
+	return start + execCost(d.Tasks[u], n), core
+}
+
+// listSchedule runs list scheduling over the given task priority order,
+// assigning each task to the node chosen by pick (which defaults to
+// min-EFT across all nodes when nil).
+func listSchedule(env *Env, d *task.DAG, order []task.ID, algorithm string,
+	pick func(u task.ID, bestEFT func(ni int) (float64, int)) int) Schedule {
+	assign := make(map[task.ID]int, d.N())
+	finish := make(map[task.ID]float64, d.N())
+	cs := newCoreState(env)
+	makespan := 0.0
+	for _, u := range order {
+		evalNode := func(ni int) (float64, int) {
+			return eft(env, d, u, ni, assign, finish, cs)
+		}
+		var ni int
+		if pick != nil {
+			ni = pick(u, evalNode)
+		} else {
+			bestF := math.Inf(1)
+			for cand := range env.Nodes {
+				f, _ := evalNode(cand)
+				if f < bestF {
+					bestF, ni = f, cand
+				}
+			}
+		}
+		f, core := evalNode(ni)
+		assign[u] = ni
+		finish[u] = f
+		cs.place(ni, core, f)
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return Schedule{Algorithm: algorithm, Assign: assign, EstMakespan: makespan, EstFinish: finish}
+}
+
+// rankOrder returns task ids sorted by descending rank, ties broken by ID.
+func rankOrder(rank []float64) []task.ID {
+	ids := make([]task.ID, len(rank))
+	for i := range ids {
+		ids[i] = task.ID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if rank[ids[a]] != rank[ids[b]] {
+			return rank[ids[a]] > rank[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// HEFT is Heterogeneous Earliest Finish Time (Topcuoglu et al.): order by
+// upward rank, greedily assign each task to the node minimizing its
+// earliest finish time. The reference heterogeneous DAG scheduler the F2
+// experiment compares against.
+//
+// Note: upward-rank order is a topological order, so predecessors are
+// always assigned before successors.
+func HEFT(env *Env, d *task.DAG) Schedule {
+	ranks := upwardRanks(env, d)
+	return listSchedule(env, d, rankOrder(ranks), "heft", nil)
+}
+
+// CPOP is Critical Path on a Processor (Topcuoglu et al.): tasks on the
+// critical path (max upward+downward rank) are pinned to the single node
+// that minimizes the path's total execution; the rest schedule by EFT.
+func CPOP(env *Env, d *task.DAG) Schedule {
+	up := upwardRanks(env, d)
+	down := downwardRanks(env, d)
+	prio := make([]float64, d.N())
+	cpLen := 0.0
+	for i := range prio {
+		prio[i] = up[i] + down[i]
+		if prio[i] > cpLen {
+			cpLen = prio[i]
+		}
+	}
+	onCP := make(map[task.ID]bool)
+	cpExec := make([]float64, len(env.Nodes))
+	for i := range prio {
+		if math.Abs(prio[i]-cpLen) < 1e-9*math.Max(1, cpLen) {
+			onCP[task.ID(i)] = true
+			for ni, n := range env.Nodes {
+				cpExec[ni] += execCost(d.Tasks[i], n)
+			}
+		}
+	}
+	cpNode := 0
+	for ni := 1; ni < len(env.Nodes); ni++ {
+		if cpExec[ni] < cpExec[cpNode] {
+			cpNode = ni
+		}
+	}
+	// Priority queue order: by descending upward rank (a valid topological
+	// order), with CP tasks pinned.
+	order := rankOrder(up)
+	return listSchedule(env, d, order, "cpop", func(u task.ID, evalNode func(int) (float64, int)) int {
+		if onCP[u] {
+			return cpNode
+		}
+		best, bestF := 0, math.Inf(1)
+		for ni := range env.Nodes {
+			f, _ := evalNode(ni)
+			if f < bestF {
+				best, bestF = ni, f
+			}
+		}
+		return best
+	})
+}
+
+// ListRoundRobin schedules tasks in topological order, cycling nodes —
+// the load-spreading-without-awareness baseline.
+func ListRoundRobin(env *Env, d *task.DAG) Schedule {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	i := 0
+	return listSchedule(env, d, order, "round-robin", func(task.ID, func(int) (float64, int)) int {
+		ni := i % len(env.Nodes)
+		i++
+		return ni
+	})
+}
+
+// ListRandom schedules tasks in topological order onto uniform random
+// nodes — the floor.
+func ListRandom(env *Env, d *task.DAG, rng *workload.RNG) Schedule {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	return listSchedule(env, d, order, "random", func(task.ID, func(int) (float64, int)) int {
+		return rng.Intn(len(env.Nodes))
+	})
+}
+
+// ListGreedy schedules in topological order (not rank order) with min-EFT
+// node choice: HEFT without the ranking, isolating the value of upward
+// ranks in the ablation benchmark.
+func ListGreedy(env *Env, d *task.DAG) Schedule {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	s := listSchedule(env, d, order, "greedy-eft", nil)
+	return s
+}

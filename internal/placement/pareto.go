@@ -1,0 +1,50 @@
+package placement
+
+import "sort"
+
+// Point is one policy's measured outcome in objective space (all three
+// minimized).
+type Point struct {
+	Label   string
+	Latency float64
+	Energy  float64
+	Dollars float64
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// and strictly better on at least one.
+func dominates(a, b Point) bool {
+	if a.Latency > b.Latency || a.Energy > b.Energy || a.Dollars > b.Dollars {
+		return false
+	}
+	return a.Latency < b.Latency || a.Energy < b.Energy || a.Dollars < b.Dollars
+}
+
+// ParetoFront returns the non-dominated subset of pts, sorted by latency
+// then label for stable output. Duplicate coordinates are all retained
+// (none dominates the other).
+func ParetoFront(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Latency != front[j].Latency {
+			return front[i].Latency < front[j].Latency
+		}
+		return front[i].Label < front[j].Label
+	})
+	return front
+}

@@ -1,0 +1,433 @@
+// Package scenario loads JSON deployment + workload descriptions and runs
+// them through the simulator — the file-driven front door used by
+// cmd/continuum-sim, so experiments can be described without writing Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"continuum/internal/core"
+	"continuum/internal/metrics"
+	"continuum/internal/node"
+	"continuum/internal/placement"
+	"continuum/internal/task"
+	"continuum/internal/trace"
+	"continuum/internal/workload"
+)
+
+// AccelJSON describes an accelerator pool.
+type AccelJSON struct {
+	Kind  string  `json:"kind"` // "gpu" | "tpu" | "fpga"
+	Count int     `json:"count"`
+	Flops float64 `json:"flops"`
+	Watts float64 `json:"watts"`
+}
+
+// NodeJSON describes one node. Class accepts the tier names from
+// node.Class.String.
+type NodeJSON struct {
+	Name          string     `json:"name"`
+	Class         string     `json:"class"`
+	Cores         int        `json:"cores"`
+	CoreFlops     float64    `json:"coreFlops"`
+	MemBytes      int64      `json:"memBytes"`
+	Accel         *AccelJSON `json:"accel,omitempty"`
+	IdleWatts     float64    `json:"idleWatts"`
+	ActiveWatts   float64    `json:"activeWattsPerCore"`
+	DollarPerHour float64    `json:"dollarPerHour"`
+	EgressPerByte float64    `json:"egressPerByte"`
+}
+
+// LinkJSON is a duplex link between two named nodes.
+type LinkJSON struct {
+	A        string  `json:"a"`
+	B        string  `json:"b"`
+	Latency  float64 `json:"latency"`
+	Capacity float64 `json:"capacity"`
+}
+
+// StreamJSON describes an online-placement workload.
+type StreamJSON struct {
+	Policy        string   `json:"policy"` // placement policy name
+	Origins       []string `json:"origins"`
+	RatePerOrigin float64  `json:"ratePerOrigin"`
+	Horizon       float64  `json:"horizon"`
+	ScalarWork    float64  `json:"scalarWork"`
+	TensorWork    float64  `json:"tensorWork"`
+	Accel         string   `json:"accel,omitempty"`
+	InputBytes    float64  `json:"inputBytes"`
+	OutputBytes   float64  `json:"outputBytes"`
+}
+
+// DAGJSON describes a workflow workload.
+type DAGJSON struct {
+	Generator string  `json:"generator"` // chain|fanoutin|layered|montage|epigenomics|cybershake
+	Size      int     `json:"size"`
+	Scheduler string  `json:"scheduler"` // heft|cpop|greedy|roundrobin|random
+	MeanWork  float64 `json:"meanWork"`
+	MeanBytes float64 `json:"meanBytes"`
+}
+
+// Scenario is a full run description.
+type Scenario struct {
+	Name   string      `json:"name"`
+	Seed   uint64      `json:"seed"`
+	Nodes  []NodeJSON  `json:"nodes"`
+	Links  []LinkJSON  `json:"links"`
+	Stream *StreamJSON `json:"stream,omitempty"`
+	DAG    *DAGJSON    `json:"dag,omitempty"`
+}
+
+// Parse decodes and validates a scenario.
+func Parse(b []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural consistency.
+func (s *Scenario) Validate() error {
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("scenario %q: no nodes", s.Name)
+	}
+	names := make(map[string]bool)
+	for _, n := range s.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("scenario %q: node with empty name", s.Name)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("scenario %q: duplicate node %q", s.Name, n.Name)
+		}
+		names[n.Name] = true
+		if _, err := parseClass(n.Class); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Links {
+		if !names[l.A] || !names[l.B] {
+			return fmt.Errorf("scenario %q: link %s-%s references unknown node", s.Name, l.A, l.B)
+		}
+	}
+	if s.Stream == nil && s.DAG == nil {
+		return fmt.Errorf("scenario %q: no workload (stream or dag)", s.Name)
+	}
+	if s.Stream != nil && s.DAG != nil {
+		return fmt.Errorf("scenario %q: both stream and dag specified", s.Name)
+	}
+	if s.Stream != nil {
+		if _, err := parsePolicy(s.Stream.Policy, workload.NewRNG(0)); err != nil {
+			return err
+		}
+		for _, o := range s.Stream.Origins {
+			if !names[o] {
+				return fmt.Errorf("scenario %q: origin %q unknown", s.Name, o)
+			}
+		}
+		if s.Stream.RatePerOrigin <= 0 || s.Stream.Horizon <= 0 {
+			return fmt.Errorf("scenario %q: stream rate and horizon must be positive", s.Name)
+		}
+	}
+	if s.DAG != nil {
+		if _, err := dagGen(s.DAG, workload.NewRNG(0)); err != nil {
+			return err
+		}
+		if _, err := parseScheduler(s.DAG.Scheduler); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseClass(s string) (node.Class, error) {
+	for c := node.Sensor; c <= node.HPC; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown node class %q", s)
+}
+
+func parseAccelKind(s string) (node.AccelKind, error) {
+	for k := node.NoAccel; k <= node.FPGA; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown accel kind %q", s)
+}
+
+func parsePolicy(name string, rng *workload.RNG) (placement.Policy, error) {
+	switch name {
+	case "edge-only":
+		return placement.EdgeOnly{}, nil
+	case "cloud-only":
+		return placement.CloudOnly{}, nil
+	case "greedy-latency":
+		return placement.GreedyLatency{}, nil
+	case "greedy-energy":
+		return placement.GreedyEnergy{}, nil
+	case "greedy-cost":
+		return placement.GreedyCost{}, nil
+	case "data-aware":
+		return placement.DataAware{}, nil
+	case "round-robin":
+		return &placement.RoundRobin{}, nil
+	case "random":
+		return placement.Random{RNG: rng}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown policy %q", name)
+	}
+}
+
+func parseScheduler(name string) (func(*placement.Env, *task.DAG, *workload.RNG) placement.Schedule, error) {
+	switch name {
+	case "heft":
+		return func(e *placement.Env, d *task.DAG, _ *workload.RNG) placement.Schedule {
+			return placement.HEFT(e, d)
+		}, nil
+	case "cpop":
+		return func(e *placement.Env, d *task.DAG, _ *workload.RNG) placement.Schedule {
+			return placement.CPOP(e, d)
+		}, nil
+	case "greedy":
+		return func(e *placement.Env, d *task.DAG, _ *workload.RNG) placement.Schedule {
+			return placement.ListGreedy(e, d)
+		}, nil
+	case "roundrobin":
+		return func(e *placement.Env, d *task.DAG, _ *workload.RNG) placement.Schedule {
+			return placement.ListRoundRobin(e, d)
+		}, nil
+	case "random":
+		return func(e *placement.Env, d *task.DAG, rng *workload.RNG) placement.Schedule {
+			return placement.ListRandom(e, d, rng)
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown scheduler %q", name)
+	}
+}
+
+func dagGen(dj *DAGJSON, rng *workload.RNG) (*task.DAG, error) {
+	spec := task.GenSpec{
+		MeanWork: dj.MeanWork, WorkSigma: 0.8,
+		MeanBytes: dj.MeanBytes, BytesSigma: 0.8,
+	}
+	if spec.MeanWork <= 0 {
+		spec.MeanWork = 1e10
+	}
+	if spec.MeanBytes <= 0 {
+		spec.MeanBytes = 1e6
+	}
+	size := dj.Size
+	if size < 2 {
+		size = 10
+	}
+	switch dj.Generator {
+	case "chain":
+		return task.Chain(rng, size, spec), nil
+	case "fanoutin":
+		return task.FanOutIn(rng, size, spec), nil
+	case "layered":
+		return task.RandomLayered(rng, 5, size/4+1, 3, spec), nil
+	case "montage":
+		return task.MontageLike(rng, size, spec), nil
+	case "epigenomics":
+		return task.EpigenomicsLike(rng, size/5+1, 4, spec), nil
+	case "cybershake":
+		return task.CyberShakeLike(rng, size, spec), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown DAG generator %q", dj.Generator)
+	}
+}
+
+// Report is the outcome of a scenario run, renderable as a table.
+type Report struct {
+	Scenario  string
+	Workload  string
+	Completed int64
+	Makespan  float64
+	MeanLat   float64
+	P99Lat    float64
+	Joules    float64
+	Dollars   float64
+	EgressB   float64
+	PerNode   map[string]int64
+}
+
+// Table renders the report.
+func (r *Report) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("scenario %q (%s)", r.Scenario, r.Workload),
+		"metric", "value",
+	)
+	t.AddRow("completed", fmt.Sprintf("%d", r.Completed))
+	t.AddRow("makespan", metrics.FormatDuration(r.Makespan))
+	t.AddRow("mean latency", metrics.FormatDuration(r.MeanLat))
+	t.AddRow("p99 latency", metrics.FormatDuration(r.P99Lat))
+	t.AddRow("energy", fmt.Sprintf("%.1f J", r.Joules))
+	t.AddRow("cost", fmt.Sprintf("$%.6f", r.Dollars))
+	t.AddRow("egress", metrics.FormatBytes(r.EgressB))
+	for name, count := range r.PerNode {
+		t.AddRow("tasks@"+name, fmt.Sprintf("%d", count))
+	}
+	return t
+}
+
+// Run builds the continuum and executes the workload.
+func (s *Scenario) Run() (*Report, error) {
+	r, _, err := s.RunTraced()
+	return r, err
+}
+
+// RunTraced is Run plus the event trace of the execution, for timeline
+// rendering (continuum-sim -gantt).
+func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := workload.NewRNG(s.Seed)
+
+	c := core.New()
+	c.Tracer = trace.New(1 << 20)
+	byName := make(map[string]*node.Node)
+	for _, nj := range s.Nodes {
+		class, _ := parseClass(nj.Class)
+		spec := node.Spec{
+			Name: nj.Name, Class: class,
+			Cores: nj.Cores, CoreFlops: nj.CoreFlops, MemBytes: nj.MemBytes,
+			IdleWatts: nj.IdleWatts, ActiveWattsCore: nj.ActiveWatts,
+			DollarPerHour: nj.DollarPerHour, EgressPerByte: nj.EgressPerByte,
+		}
+		if nj.Accel != nil {
+			kind, err := parseAccelKind(nj.Accel.Kind)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Accel = node.Accelerator{
+				Kind: kind, Count: nj.Accel.Count,
+				Flops: nj.Accel.Flops, Watts: nj.Accel.Watts,
+			}
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, nil, err
+		}
+		byName[nj.Name] = c.AddNode(spec)
+	}
+	for _, lj := range s.Links {
+		c.Connect(byName[lj.A].ID, byName[lj.B].ID, lj.Latency, lj.Capacity)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	var rep *Report
+	var err error
+	if s.Stream != nil {
+		rep, err = s.runStream(c, byName, rng)
+	} else {
+		rep, err = s.runDAG(c, rng)
+	}
+	return rep, c.Tracer, err
+}
+
+func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rng *workload.RNG) (*Report, error) {
+	pol, err := parsePolicy(s.Stream.Policy, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	accel := node.NoAccel
+	if s.Stream.Accel != "" {
+		if accel, err = parseAccelKind(s.Stream.Accel); err != nil {
+			return nil, err
+		}
+	}
+	var jobs []core.StreamJob
+	for _, origin := range s.Stream.Origins {
+		arr := workload.NewPoisson(rng.Split(), s.Stream.RatePerOrigin)
+		t := 0.0
+		for {
+			t += arr.Next()
+			if t > s.Stream.Horizon {
+				break
+			}
+			jobs = append(jobs, core.StreamJob{
+				Task: &task.Task{
+					Name:        "job",
+					ScalarWork:  s.Stream.ScalarWork,
+					TensorWork:  s.Stream.TensorWork,
+					Accel:       accel,
+					OutputBytes: s.Stream.OutputBytes,
+					Inputs:      []task.DataRef{{Name: "in", Bytes: s.Stream.InputBytes}},
+				},
+				Origin: byName[origin].ID,
+				Submit: t,
+			})
+		}
+	}
+	st := c.RunStream(pol, jobs, nil)
+	return reportFromStats(s.Name, "stream/"+s.Stream.Policy, st), nil
+}
+
+func (s *Scenario) runDAG(c *core.Continuum, rng *workload.RNG) (*Report, error) {
+	d, err := dagGen(s.DAG, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	schedule, err := parseScheduler(s.DAG.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	env := c.Env()
+	st, err := c.RunDAG(d, schedule(env, d, rng.Split()), env)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromStats(s.Name, "dag/"+s.DAG.Generator+"/"+s.DAG.Scheduler, st), nil
+}
+
+func reportFromStats(name, workloadDesc string, st *core.Stats) *Report {
+	return &Report{
+		Scenario:  name,
+		Workload:  workloadDesc,
+		Completed: st.Completed,
+		Makespan:  st.Makespan,
+		MeanLat:   st.Latency.Mean(),
+		P99Lat:    st.Latency.P99(),
+		Joules:    st.Joules,
+		Dollars:   st.Dollars,
+		EgressB:   st.EgressB,
+		PerNode:   st.PerNode,
+	}
+}
+
+// Example returns a documented sample scenario (used by -example).
+func Example() *Scenario {
+	return &Scenario{
+		Name: "metro-iot",
+		Seed: 42,
+		Nodes: []NodeJSON{
+			{Name: "gw0", Class: "gateway", Cores: 4, CoreFlops: 2.5e9, MemBytes: 4 << 30, IdleWatts: 2, ActiveWatts: 3},
+			{Name: "gw1", Class: "gateway", Cores: 4, CoreFlops: 2.5e9, MemBytes: 4 << 30, IdleWatts: 2, ActiveWatts: 3},
+			{Name: "fog", Class: "fog", Cores: 16, CoreFlops: 3e9, MemBytes: 64 << 30, IdleWatts: 40, ActiveWatts: 8,
+				Accel: &AccelJSON{Kind: "gpu", Count: 1, Flops: 5e12, Watts: 70}},
+			{Name: "cloud", Class: "cloud", Cores: 96, CoreFlops: 3.2e9, MemBytes: 384 << 30, IdleWatts: 300, ActiveWatts: 12,
+				DollarPerHour: 24, EgressPerByte: 9e-11,
+				Accel: &AccelJSON{Kind: "gpu", Count: 8, Flops: 1.4e13, Watts: 300}},
+		},
+		Links: []LinkJSON{
+			{A: "gw0", B: "fog", Latency: 0.002, Capacity: 1.25e8},
+			{A: "gw1", B: "fog", Latency: 0.002, Capacity: 1.25e8},
+			{A: "fog", B: "cloud", Latency: 0.020, Capacity: 1.25e9},
+		},
+		Stream: &StreamJSON{
+			Policy: "greedy-latency", Origins: []string{"gw0", "gw1"},
+			RatePerOrigin: 10, Horizon: 30,
+			ScalarWork: 5e8, InputBytes: 1024, OutputBytes: 128,
+		},
+	}
+}

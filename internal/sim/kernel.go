@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is callback-based rather than goroutine-based: events are
+// closures scheduled at virtual times and executed in nondecreasing time
+// order by a single Run loop. This keeps simulations deterministic
+// (identical seeds produce identical traces), avoids synchronization
+// overhead, and scales to millions of events per second on one core.
+//
+// Ties are broken by scheduling order: two events at the same virtual time
+// fire in the order they were scheduled, so the simulation is fully
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Timer is a handle to a scheduled event. Cancel prevents a pending event
+// from firing; cancelling an already-fired or already-cancelled timer is a
+// no-op.
+type Timer struct {
+	index     int // heap index, -1 once fired or cancelled
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the timer's event from firing. It reports whether the
+// event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.cancelled || t.index < 0 {
+		return false
+	}
+	t.cancelled = true
+	return true
+}
+
+// Time returns the virtual time at which the timer is (or was) scheduled.
+func (t *Timer) Time() float64 { return t.time }
+
+// eventHeap orders timers by (time, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewKernel returns a kernel with virtual clock at 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+// Cancelled events still occupying the heap are excluded.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, t := range k.events {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the total number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: allowing it would silently reorder causality.
+func (k *Kernel) At(t float64, fn func()) *Timer {
+	if math.IsNaN(t) {
+		panic("sim: schedule at NaN time")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	k.seq++
+	tm := &Timer{time: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, tm)
+	return tm
+}
+
+// After schedules fn to run d seconds after the current virtual time.
+// Negative d panics.
+func (k *Kernel) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes the current Run call return after the executing event
+// completes. Pending events remain scheduled.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until none remain or Stop is called. It returns the
+// number of events executed by this call.
+func (k *Kernel) Run() int {
+	return k.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= deadline, then advances the clock
+// to deadline (if any event ran or the clock was behind and events remain
+// beyond). It returns the number of events executed by this call.
+func (k *Kernel) RunUntil(deadline float64) int {
+	k.stopped = false
+	n := 0
+	for len(k.events) > 0 && !k.stopped {
+		next := k.events[0]
+		if next.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.time > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = next.time
+		next.fn()
+		k.fired++
+		n++
+	}
+	if !math.IsInf(deadline, 1) && k.now < deadline {
+		k.now = deadline
+	}
+	return n
+}
+
+// Step executes exactly one pending event, if any, and reports whether an
+// event ran.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		heap.Pop(&k.events)
+		if next.cancelled {
+			continue
+		}
+		k.now = next.time
+		next.fn()
+		k.fired++
+		return true
+	}
+	return false
+}

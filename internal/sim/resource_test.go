@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceImmediateGrant(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 4)
+	granted := false
+	r.Acquire(2, func() { granted = true })
+	if !granted {
+		t.Fatal("acquire within capacity not granted immediately")
+	}
+	if r.InUse() != 2 || r.Free() != 2 {
+		t.Fatalf("InUse=%d Free=%d, want 2/2", r.InUse(), r.Free())
+	}
+}
+
+func TestResourceBlocksWhenFull(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 2)
+	r.Acquire(2, func() {})
+	blocked := true
+	r.Acquire(1, func() { blocked = false })
+	if !blocked {
+		t.Fatal("acquire beyond free granted immediately")
+	}
+	if r.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", r.QueueLen())
+	}
+	r.Release(2)
+	if blocked {
+		t.Fatal("queued acquire not granted after release")
+	}
+}
+
+func TestResourceFIFONoOvertaking(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 4)
+	r.Acquire(4, func() {})
+	var order []int
+	r.Acquire(3, func() { order = append(order, 1) }) // head, large
+	r.Acquire(1, func() { order = append(order, 2) }) // small, behind
+	r.Release(1)
+	// 3 units free is still < head's 3? No: 1 free < 3, head blocked; the
+	// small request must NOT overtake.
+	if len(order) != 0 {
+		t.Fatalf("overtaking occurred: %v", order)
+	}
+	r.Release(2) // 3 free: head (3) granted, then small blocked (0 free)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order = %v, want [1]", order)
+	}
+	r.Release(3)
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestResourceCancelPending(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 1)
+	r.Acquire(1, func() {})
+	granted := false
+	h := r.Acquire(1, func() { granted = true })
+	if !h.Cancel() {
+		t.Fatal("Cancel pending acquire = false")
+	}
+	if h.Cancel() {
+		t.Fatal("double Cancel = true")
+	}
+	r.Release(1)
+	if granted {
+		t.Fatal("cancelled acquire was granted")
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", r.InUse())
+	}
+}
+
+func TestResourceCancelGrantedIsFalse(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 1)
+	h := r.Acquire(1, func() {})
+	if h.Cancel() {
+		t.Fatal("Cancel on already-granted acquire = true")
+	}
+}
+
+func TestResourceUseReleasesAfterDuration(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "cores", 1)
+	var doneAt float64 = -1
+	r.Use(1, 5, func() { doneAt = k.Now() })
+	if r.InUse() != 1 {
+		t.Fatalf("InUse = %d during Use, want 1", r.InUse())
+	}
+	k.Run()
+	if doneAt != 5 {
+		t.Fatalf("done at %v, want 5", doneAt)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after Use, want 0", r.InUse())
+	}
+}
+
+func TestResourceMMcQueueing(t *testing.T) {
+	// 3 jobs of 10s on 2 servers: completions at 10, 10, 20.
+	k := NewKernel()
+	r := NewResource(k, "srv", 2)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		r.Use(1, 10, func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	want := []float64{10, 10, 20}
+	for i, w := range want {
+		if done[i] != w {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 2)
+	r.Use(2, 10, nil)
+	k.At(20, func() {}) // extend sim to 20s
+	k.Run()
+	if r.MaxInUse != 2 {
+		t.Fatalf("MaxInUse = %d, want 2", r.MaxInUse)
+	}
+	if r.Grants != 1 {
+		t.Fatalf("Grants = %d, want 1", r.Grants)
+	}
+	// Busy 2 units for 10s of 2x20 capacity-time = 0.5 utilization.
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	k := NewKernel()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero capacity", func() { NewResource(k, "x", 0) }},
+		{"acquire zero", func() { NewResource(k, "x", 1).Acquire(0, func() {}) }},
+		{"acquire beyond capacity", func() { NewResource(k, "x", 1).Acquire(2, func() {}) }},
+		{"release unheld", func() { NewResource(k, "x", 1).Release(1) }},
+		{"release zero", func() { NewResource(k, "x", 1).Release(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+// Property: conservation — after any schedule of acquire/release pairs
+// completes, InUse returns to 0 and grants equal the number of acquisitions.
+func TestPropertyResourceConservation(t *testing.T) {
+	f := func(seed int64, nJobs uint8, capacity uint8) bool {
+		cap64 := int64(capacity%8) + 1
+		k := NewKernel()
+		r := NewResource(k, "r", cap64)
+		rng := rand.New(rand.NewSource(seed))
+		jobs := int(nJobs%64) + 1
+		completed := 0
+		for i := 0; i < jobs; i++ {
+			n := rng.Int63n(cap64) + 1
+			d := rng.Float64() * 10
+			at := rng.Float64() * 10
+			k.At(at, func() {
+				r.Use(n, d, func() { completed++ })
+			})
+		}
+		k.Run()
+		return completed == jobs && r.InUse() == 0 && int(r.Grants) == jobs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: InUse never exceeds capacity at any grant point.
+func TestPropertyResourceNeverOversubscribed(t *testing.T) {
+	f := func(seed int64) bool {
+		k := NewKernel()
+		const capacity = 5
+		r := NewResource(k, "r", capacity)
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		for i := 0; i < 100; i++ {
+			n := rng.Int63n(capacity) + 1
+			at := rng.Float64() * 20
+			d := rng.Float64() * 5
+			k.At(at, func() {
+				r.Acquire(n, func() {
+					if r.InUse() > capacity {
+						ok = false
+					}
+					k.After(d, func() { r.Release(n) })
+				})
+			})
+		}
+		k.Run()
+		return ok && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package simfaas is function serving in *virtual* time: endpoints live
+// on the simulated network, invocations pay real routing latency, queue
+// for capacity slots, and suffer cold starts — all under the
+// discrete-event kernel. Where internal/faas runs a real federation on
+// goroutines, simfaas scales the same mechanics to hundreds of endpoints
+// and millions of invocations, powering the F9 routing experiment.
+package simfaas
+
+import (
+	"fmt"
+	"math"
+
+	"continuum/internal/netsim"
+	"continuum/internal/sim"
+	"continuum/internal/workload"
+)
+
+// Endpoint is a serving site on the topology.
+type Endpoint struct {
+	Name string
+	// Vertex is the endpoint's network attachment point.
+	Vertex int
+
+	slots   *sim.Resource
+	cold    float64 // provisioning delay for a cold container
+	warmTTL float64 // idle lifetime of a warm container
+
+	// warm holds per-function stacks of idle-since timestamps.
+	warm map[string][]float64
+
+	k *sim.Kernel
+
+	// ColdStarts/WarmHits/Invocations mirror the real faas counters.
+	ColdStarts, WarmHits, Invocations int64
+
+	// pending counts invocations the router has dispatched toward this
+	// endpoint that have not yet arrived — without it, load-aware
+	// policies would route on stale zeros while requests are in flight.
+	pending int64
+}
+
+// NewEndpoint creates an endpoint with `capacity` concurrent containers.
+func NewEndpoint(k *sim.Kernel, vertex int, name string, capacity int, cold, warmTTL float64) *Endpoint {
+	if capacity < 1 {
+		panic(fmt.Sprintf("simfaas: endpoint %q capacity %d < 1", name, capacity))
+	}
+	if cold < 0 || warmTTL < 0 {
+		panic("simfaas: negative cold or warmTTL")
+	}
+	return &Endpoint{
+		Name: name, Vertex: vertex,
+		slots:   sim.NewResource(k, name+"/slots", int64(capacity)),
+		cold:    cold,
+		warmTTL: warmTTL,
+		warm:    make(map[string][]float64),
+		k:       k,
+	}
+}
+
+// Backlog returns running, queued, and router-dispatched-in-flight
+// invocations.
+func (ep *Endpoint) Backlog() int64 {
+	return ep.slots.InUse() + int64(ep.slots.QueueLen()) + ep.pending
+}
+
+// Capacity returns the concurrency limit.
+func (ep *Endpoint) Capacity() int64 { return ep.slots.Capacity() }
+
+// takeWarm pops a fresh warm container for fn, expiring stale ones.
+func (ep *Endpoint) takeWarm(fn string) bool {
+	now := ep.k.Now()
+	pool := ep.warm[fn]
+	for len(pool) > 0 {
+		idleSince := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if ep.warmTTL == 0 || now-idleSince <= ep.warmTTL {
+			ep.warm[fn] = pool
+			return true
+		}
+	}
+	ep.warm[fn] = pool
+	return false
+}
+
+// Invoke queues one invocation of fn with the given service time; done
+// fires (in virtual time) when it finishes.
+func (ep *Endpoint) Invoke(fn string, service float64, done func()) {
+	if service < 0 {
+		panic("simfaas: negative service time")
+	}
+	ep.slots.Acquire(1, func() {
+		d := service
+		if ep.takeWarm(fn) {
+			ep.WarmHits++
+		} else {
+			ep.ColdStarts++
+			d += ep.cold
+		}
+		ep.k.After(d, func() {
+			ep.warm[fn] = append(ep.warm[fn], ep.k.Now())
+			ep.slots.Release(1)
+			ep.Invocations++
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Policy selects an endpoint for an invocation originating at a vertex.
+type Policy interface {
+	Name() string
+	Pick(r *Router, origin int, fn string) *Endpoint
+}
+
+// Nearest picks the endpoint with minimum network latency from the
+// origin — optimal when nobody else is talking.
+type Nearest struct{}
+
+// Name implements Policy.
+func (Nearest) Name() string { return "nearest" }
+
+// Pick implements Policy.
+func (Nearest) Pick(r *Router, origin int, fn string) *Endpoint {
+	var best *Endpoint
+	bestLat := math.Inf(1)
+	for _, ep := range r.eps {
+		lat := r.net.Latency(origin, ep.Vertex)
+		if lat < bestLat {
+			best, bestLat = ep, lat
+		}
+	}
+	return best
+}
+
+// LeastLoaded picks the endpoint with the smallest backlog/capacity
+// ratio, ignoring distance — funcX's spread heuristic.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(r *Router, origin int, fn string) *Endpoint {
+	var best *Endpoint
+	bestLoad := math.Inf(1)
+	for _, ep := range r.eps {
+		load := float64(ep.Backlog()) / float64(ep.Capacity())
+		if load < bestLoad {
+			best, bestLoad = ep, load
+		}
+	}
+	return best
+}
+
+// TwoChoices samples two random endpoints and takes the less loaded —
+// the classic power-of-two-choices compromise: near-optimal load spread
+// with O(1) state and no global view.
+type TwoChoices struct{ RNG *workload.RNG }
+
+// Name implements Policy.
+func (TwoChoices) Name() string { return "two-choices" }
+
+// Pick implements Policy.
+func (p TwoChoices) Pick(r *Router, origin int, fn string) *Endpoint {
+	a := r.eps[p.RNG.Intn(len(r.eps))]
+	b := r.eps[p.RNG.Intn(len(r.eps))]
+	la := float64(a.Backlog()) / float64(a.Capacity())
+	lb := float64(b.Backlog()) / float64(b.Capacity())
+	if lb < la {
+		return b
+	}
+	return a
+}
+
+// NearestUnderLoad prefers the nearest endpoint unless its backlog
+// exceeds threshold×capacity, then falls back to least-loaded: the
+// latency-first hybrid.
+type NearestUnderLoad struct{ Threshold float64 }
+
+// Name implements Policy.
+func (NearestUnderLoad) Name() string { return "nearest-spill" }
+
+// Pick implements Policy.
+func (p NearestUnderLoad) Pick(r *Router, origin int, fn string) *Endpoint {
+	near := Nearest{}.Pick(r, origin, fn)
+	if float64(near.Backlog()) <= p.Threshold*float64(near.Capacity()) {
+		return near
+	}
+	return LeastLoaded{}.Pick(r, origin, fn)
+}
+
+// Router federates simulated endpoints over a network.
+type Router struct {
+	net *netsim.Network
+	eps []*Endpoint
+	pol Policy
+}
+
+// NewRouter builds a router.
+func NewRouter(net *netsim.Network, pol Policy, eps ...*Endpoint) *Router {
+	if len(eps) == 0 {
+		panic("simfaas: router needs endpoints")
+	}
+	return &Router{net: net, eps: eps, pol: pol}
+}
+
+// Endpoints returns the federated endpoints.
+func (r *Router) Endpoints() []*Endpoint { return r.eps }
+
+// Invoke routes one invocation from origin: request payload travels to
+// the chosen endpoint, executes, and the response returns to the origin.
+// done receives the end-to-end latency in virtual seconds.
+func (r *Router) Invoke(origin int, fn string, reqBytes, respBytes, service float64, done func(latency float64)) {
+	start := r.net.Kernel().Now()
+	ep := r.pol.Pick(r, origin, fn)
+	ep.pending++
+	r.net.Message(origin, ep.Vertex, reqBytes, func() {
+		ep.pending--
+		ep.Invoke(fn, service, func() {
+			r.net.Message(ep.Vertex, origin, respBytes, func() {
+				if done != nil {
+					done(r.net.Kernel().Now() - start)
+				}
+			})
+		})
+	})
+}

@@ -1,0 +1,190 @@
+package simfaas
+
+import (
+	"math"
+	"testing"
+
+	"continuum/internal/netsim"
+	"continuum/internal/sim"
+	"continuum/internal/workload"
+)
+
+// twoSiteNet: origin(0) -- near ep(1) at 1ms -- far ep(2) at 50ms.
+func twoSiteNet() (*sim.Kernel, *netsim.Network) {
+	k := sim.NewKernel()
+	net := netsim.New(k, 3)
+	net.AddDuplexLink(0, 1, 0.001, 1e9)
+	net.AddDuplexLink(0, 2, 0.050, 1e9)
+	return k, net
+}
+
+func TestEndpointColdThenWarm(t *testing.T) {
+	k := sim.NewKernel()
+	_ = netsim.New(k, 1)
+	ep := NewEndpoint(k, 0, "ep", 2, 0.1, 60)
+	var t1, t2 float64
+	ep.Invoke("f", 0.2, func() { t1 = k.Now() })
+	k.Run()
+	// Cold: 0.1 + 0.2.
+	if math.Abs(t1-0.3) > 1e-9 {
+		t.Fatalf("cold finish = %v, want 0.3", t1)
+	}
+	ep.Invoke("f", 0.2, func() { t2 = k.Now() })
+	k.Run()
+	// Warm: just 0.2 more.
+	if math.Abs(t2-0.5) > 1e-9 {
+		t.Fatalf("warm finish = %v, want 0.5", t2)
+	}
+	if ep.ColdStarts != 1 || ep.WarmHits != 1 {
+		t.Fatalf("cold/warm = %d/%d", ep.ColdStarts, ep.WarmHits)
+	}
+}
+
+func TestEndpointWarmTTLExpires(t *testing.T) {
+	k := sim.NewKernel()
+	ep := NewEndpoint(k, 0, "ep", 1, 0.1, 1.0)
+	ep.Invoke("f", 0.1, nil)
+	k.Run()
+	// Wait past the TTL in virtual time.
+	k.At(k.Now()+5, func() {
+		ep.Invoke("f", 0.1, nil)
+	})
+	k.Run()
+	if ep.ColdStarts != 2 {
+		t.Fatalf("ColdStarts = %d, want 2 (TTL expiry)", ep.ColdStarts)
+	}
+}
+
+func TestEndpointCapacityQueues(t *testing.T) {
+	k := sim.NewKernel()
+	ep := NewEndpoint(k, 0, "ep", 1, 0, 60)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		ep.Invoke("f", 1.0, func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(done[i]-want[i]) > 1e-9 {
+			t.Fatalf("done = %v", done)
+		}
+	}
+	if ep.Backlog() != 0 {
+		t.Fatal("backlog nonzero after drain")
+	}
+}
+
+func TestWarmPoolsPerFunction(t *testing.T) {
+	k := sim.NewKernel()
+	ep := NewEndpoint(k, 0, "ep", 2, 0.1, 60)
+	ep.Invoke("f", 0.1, nil)
+	ep.Invoke("g", 0.1, nil)
+	k.Run()
+	if ep.ColdStarts != 2 {
+		t.Fatalf("ColdStarts = %d, want one per function", ep.ColdStarts)
+	}
+}
+
+func TestNearestPolicy(t *testing.T) {
+	k, net := twoSiteNet()
+	near := NewEndpoint(k, 1, "near", 4, 0, 60)
+	far := NewEndpoint(k, 2, "far", 4, 0, 60)
+	r := NewRouter(net, Nearest{}, near, far)
+	var lat float64
+	r.Invoke(0, "f", 100, 100, 0.01, func(l float64) { lat = l })
+	k.Run()
+	if near.Invocations != 1 || far.Invocations != 0 {
+		t.Fatal("nearest did not pick the near endpoint")
+	}
+	// 2x 1ms + 10ms service (+ tiny transmission).
+	if lat < 0.012 || lat > 0.013 {
+		t.Fatalf("latency = %v, want ~12ms", lat)
+	}
+}
+
+func TestLeastLoadedAvoidsBacklog(t *testing.T) {
+	k, net := twoSiteNet()
+	near := NewEndpoint(k, 1, "near", 1, 0, 60)
+	far := NewEndpoint(k, 2, "far", 1, 0, 60)
+	r := NewRouter(net, LeastLoaded{}, near, far)
+	// Saturate "near" first (it sorts first with equal load at 0).
+	for i := 0; i < 4; i++ {
+		r.Invoke(0, "f", 10, 10, 1.0, nil)
+	}
+	k.Run()
+	if near.Invocations == 4 || far.Invocations == 0 {
+		t.Fatalf("least-loaded never spread: near=%d far=%d", near.Invocations, far.Invocations)
+	}
+}
+
+func TestTwoChoicesSpreads(t *testing.T) {
+	k := sim.NewKernel()
+	const n = 8
+	net := netsim.New(k, n+1)
+	eps := make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		net.AddDuplexLink(0, i+1, 0.001, 1e9)
+		eps[i] = NewEndpoint(k, i+1, "ep", 2, 0, 60)
+	}
+	r := NewRouter(net, TwoChoices{RNG: workload.NewRNG(1)}, eps...)
+	for i := 0; i < 200; i++ {
+		r.Invoke(0, "f", 10, 10, 0.5, nil)
+	}
+	k.Run()
+	// No endpoint should be starved or dominate wildly.
+	for i, ep := range eps {
+		if ep.Invocations == 0 {
+			t.Fatalf("endpoint %d starved", i)
+		}
+	}
+}
+
+func TestNearestSpillFallsBack(t *testing.T) {
+	k, net := twoSiteNet()
+	near := NewEndpoint(k, 1, "near", 1, 0, 60)
+	far := NewEndpoint(k, 2, "far", 8, 0, 60)
+	r := NewRouter(net, NearestUnderLoad{Threshold: 2}, near, far)
+	for i := 0; i < 10; i++ {
+		r.Invoke(0, "f", 10, 10, 1.0, nil)
+	}
+	k.Run()
+	if far.Invocations == 0 {
+		t.Fatal("spill policy never spilled")
+	}
+	if near.Invocations == 0 {
+		t.Fatal("spill policy never used the near endpoint")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	k := sim.NewKernel()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero capacity", func() { NewEndpoint(k, 0, "x", 0, 0, 0) }},
+		{"negative cold", func() { NewEndpoint(k, 0, "x", 1, -1, 0) }},
+		{"negative service", func() {
+			NewEndpoint(k, 0, "x", 1, 0, 0).Invoke("f", -1, nil)
+		}},
+		{"empty router", func() { NewRouter(netsim.New(k, 1), Nearest{}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{Nearest{}, LeastLoaded{}, TwoChoices{}, NearestUnderLoad{}} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}

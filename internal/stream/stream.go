@@ -1,0 +1,173 @@
+// Package stream models continuous dataflow pipelines over the continuum:
+// IoT sensors emit events that flow through a chain of operators (filter,
+// aggregate, infer), each placed on some node. Operator placement is
+// exactly the keynote's "where should I compute" question in streaming
+// form — push raw data to central silicon, or filter at the edge and ship
+// only survivors?
+package stream
+
+import (
+	"fmt"
+
+	"continuum/internal/core"
+	"continuum/internal/metrics"
+	"continuum/internal/node"
+	"continuum/internal/workload"
+)
+
+// Stage is one pipeline operator.
+type Stage struct {
+	Name string
+	// WorkPerEvent is the scalar flops spent on each incoming event.
+	WorkPerEvent float64
+	// Selectivity is the probability an event survives this stage (the
+	// filter/aggregation ratio); must be in (0, 1].
+	Selectivity float64
+	// OutBytes is the size of each forwarded event.
+	OutBytes float64
+}
+
+// Pipeline is an ordered operator chain.
+type Pipeline struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate reports the first invalid stage, or nil.
+func (p *Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("stream: pipeline %q has no stages", p.Name)
+	}
+	for i, s := range p.Stages {
+		if s.Selectivity <= 0 || s.Selectivity > 1 {
+			return fmt.Errorf("stream: stage %d selectivity %v outside (0,1]", i, s.Selectivity)
+		}
+		if s.WorkPerEvent < 0 || s.OutBytes < 0 {
+			return fmt.Errorf("stream: stage %d has negative work or bytes", i)
+		}
+	}
+	return nil
+}
+
+// Source emits events into the pipeline from a topology vertex.
+type Source struct {
+	Origin     int // vertex id (typically a sensor)
+	Arrivals   workload.ArrivalProcess
+	Events     int     // number of events to emit
+	EventBytes float64 // raw event size entering stage 0
+}
+
+// Placement assigns each stage to a node. Len must equal len(Stages).
+type Placement []*node.Node
+
+// Stats summarizes one streaming run.
+type Stats struct {
+	EventsIn  int64
+	EventsOut int64 // events surviving the full pipeline
+	Dropped   int64 // filtered out along the way
+	Latency   *metrics.Histogram
+	Joules    float64
+	// StageEvents counts arrivals per stage.
+	StageEvents []int64
+	// WANBytes is the total bytes that crossed each stage boundary.
+	BoundaryBytes []float64
+}
+
+// Run executes the pipeline in the continuum's simulation: each event
+// travels origin→stage0→…→stageN, paying network movement between
+// distinct nodes and compute at each stage. Events drop per stage
+// selectivity (deterministically seeded). Run owns the kernel.
+func Run(c *core.Continuum, p Pipeline, sources []Source, place Placement, rng *workload.RNG) (*Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(place) != len(p.Stages) {
+		return nil, fmt.Errorf("stream: placement covers %d of %d stages", len(place), len(p.Stages))
+	}
+	st := &Stats{
+		Latency:       metrics.NewHistogram(),
+		StageEvents:   make([]int64, len(p.Stages)),
+		BoundaryBytes: make([]float64, len(p.Stages)+1),
+	}
+
+	var advance func(stage int, emitted float64)
+	advance = func(stage int, emitted float64) {
+		if stage == len(p.Stages) {
+			st.EventsOut++
+			st.Latency.Add(c.K.Now() - emitted)
+			return
+		}
+		s := p.Stages[stage]
+		n := place[stage]
+		st.StageEvents[stage]++
+		n.Execute(s.WorkPerEvent, 0, node.NoAccel, func() {
+			if rng.Float64() >= s.Selectivity {
+				st.Dropped++
+				return
+			}
+			// Forward to the next stage (or finish).
+			if stage+1 == len(p.Stages) {
+				advance(stage+1, emitted)
+				return
+			}
+			next := place[stage+1]
+			st.BoundaryBytes[stage+1] += s.OutBytes
+			if next.ID == n.ID {
+				advance(stage+1, emitted)
+				return
+			}
+			c.Net.Message(n.ID, next.ID, s.OutBytes, func() {
+				advance(stage+1, emitted)
+			})
+		})
+	}
+
+	for _, src := range sources {
+		src := src
+		t := 0.0
+		for i := 0; i < src.Events; i++ {
+			t += src.Arrivals.Next()
+			emit := t
+			c.K.At(emit, func() {
+				st.EventsIn++
+				st.BoundaryBytes[0] += src.EventBytes
+				first := place[0]
+				if src.Origin == first.ID {
+					advance(0, emit)
+					return
+				}
+				c.Net.Message(src.Origin, first.ID, src.EventBytes, func() {
+					advance(0, emit)
+				})
+			})
+		}
+	}
+	c.K.Run()
+	st.Joules = c.TotalJoules()
+	return st, nil
+}
+
+// ExpectedOutRate returns the steady-state fraction of input events that
+// survive all stages.
+func (p *Pipeline) ExpectedOutRate() float64 {
+	f := 1.0
+	for _, s := range p.Stages {
+		f *= s.Selectivity
+	}
+	return f
+}
+
+// IoTAnalytics returns the reference pipeline for the T1 experiment:
+// parse (cheap, keeps everything), filter (drops 90%), featurize
+// (moderate), infer (heavy, keeps everything it sees).
+func IoTAnalytics() Pipeline {
+	return Pipeline{
+		Name: "iot-analytics",
+		Stages: []Stage{
+			{Name: "parse", WorkPerEvent: 1e6, Selectivity: 1.0, OutBytes: 512},
+			{Name: "filter", WorkPerEvent: 5e6, Selectivity: 0.1, OutBytes: 256},
+			{Name: "featurize", WorkPerEvent: 5e7, Selectivity: 1.0, OutBytes: 1024},
+			{Name: "infer", WorkPerEvent: 5e8, Selectivity: 1.0, OutBytes: 128},
+		},
+	}
+}

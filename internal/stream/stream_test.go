@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"continuum/internal/core"
+	"continuum/internal/node"
+	"continuum/internal/workload"
+)
+
+func tinyPipeline() Pipeline {
+	return Pipeline{
+		Name: "tiny",
+		Stages: []Stage{
+			{Name: "a", WorkPerEvent: 1e6, Selectivity: 1.0, OutBytes: 100},
+			{Name: "b", WorkPerEvent: 1e6, Selectivity: 1.0, OutBytes: 50},
+		},
+	}
+}
+
+func testContinuum() (*core.ThreeTier, *core.Continuum) {
+	tt := core.BuildThreeTier(core.DefaultThreeTierParams(2, 2))
+	return tt, tt.Continuum
+}
+
+func TestPipelineValidate(t *testing.T) {
+	good := tinyPipeline()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyPipeline()
+	bad.Stages[0].Selectivity = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero selectivity accepted")
+	}
+	bad2 := tinyPipeline()
+	bad2.Stages[1].WorkPerEvent = -1
+	if bad2.Validate() == nil {
+		t.Fatal("negative work accepted")
+	}
+	empty := Pipeline{Name: "e"}
+	if empty.Validate() == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+}
+
+func TestExpectedOutRate(t *testing.T) {
+	p := IoTAnalytics()
+	if r := p.ExpectedOutRate(); math.Abs(r-0.1) > 1e-12 {
+		t.Fatalf("ExpectedOutRate = %v, want 0.1", r)
+	}
+}
+
+func TestRunAllEventsSurviveWithUnitSelectivity(t *testing.T) {
+	tt, c := testContinuum()
+	p := tinyPipeline()
+	src := Source{
+		Origin:     tt.Sensors[0][0].ID,
+		Arrivals:   workload.NewDeterministic(0.1),
+		Events:     50,
+		EventBytes: 200,
+	}
+	place := Placement{tt.Gateways[0], tt.Gateways[0]}
+	st, err := Run(c, p, []Source{src}, place, workload.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsIn != 50 || st.EventsOut != 50 || st.Dropped != 0 {
+		t.Fatalf("in/out/drop = %d/%d/%d", st.EventsIn, st.EventsOut, st.Dropped)
+	}
+	if st.Latency.Count() != 50 {
+		t.Fatal("latency histogram incomplete")
+	}
+	if st.StageEvents[0] != 50 || st.StageEvents[1] != 50 {
+		t.Fatalf("stage events = %v", st.StageEvents)
+	}
+}
+
+func TestRunSelectivityDrops(t *testing.T) {
+	tt, c := testContinuum()
+	p := tinyPipeline()
+	p.Stages[0].Selectivity = 0.5
+	src := Source{
+		Origin:     tt.Sensors[0][0].ID,
+		Arrivals:   workload.NewDeterministic(0.05),
+		Events:     400,
+		EventBytes: 200,
+	}
+	place := Placement{tt.Gateways[0], tt.Fog}
+	st, err := Run(c, p, []Source{src}, place, workload.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsOut+st.Dropped != st.EventsIn {
+		t.Fatalf("conservation violated: %d + %d != %d", st.EventsOut, st.Dropped, st.EventsIn)
+	}
+	frac := float64(st.EventsOut) / float64(st.EventsIn)
+	if frac < 0.40 || frac > 0.60 {
+		t.Fatalf("survival fraction %v, want ~0.5", frac)
+	}
+	// Stage 1 only sees survivors.
+	if st.StageEvents[1] != st.EventsOut {
+		t.Fatalf("stage1 events %d != out %d", st.StageEvents[1], st.EventsOut)
+	}
+}
+
+func TestEdgeFilteringCutsWANBytes(t *testing.T) {
+	// Placing the filter at the gateway vs at the cloud changes the bytes
+	// crossing the WAN boundary by ~the selectivity factor.
+	run := func(filterAtEdge bool) *Stats {
+		tt, c := testContinuum()
+		p := Pipeline{
+			Name: "filter-then-infer",
+			Stages: []Stage{
+				{Name: "filter", WorkPerEvent: 1e6, Selectivity: 0.1, OutBytes: 100},
+				{Name: "infer", WorkPerEvent: 1e7, Selectivity: 1.0, OutBytes: 10},
+			},
+		}
+		var place Placement
+		if filterAtEdge {
+			place = Placement{tt.Gateways[0], tt.Cloud}
+		} else {
+			place = Placement{tt.Cloud, tt.Cloud}
+		}
+		src := Source{
+			Origin:     tt.Sensors[0][0].ID,
+			Arrivals:   workload.NewDeterministic(0.05),
+			Events:     300,
+			EventBytes: 1000,
+		}
+		st, err := Run(c, p, []Source{src}, place, workload.NewRNG(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	edge := run(true)
+	cloud := run(false)
+	// Edge filtering: boundary 1 carries ~10% of events at 100B each.
+	// Cloud-everything: boundary 0 carries all raw 1000B events over WAN.
+	edgeCross := edge.BoundaryBytes[1]
+	cloudCross := cloud.BoundaryBytes[0]
+	if edgeCross*5 > cloudCross {
+		t.Fatalf("edge filtering moved %v bytes, cloud %v; expected >5x reduction",
+			edgeCross, cloudCross)
+	}
+}
+
+func TestRunRejectsBadPlacement(t *testing.T) {
+	tt, c := testContinuum()
+	p := tinyPipeline()
+	if _, err := Run(c, p, nil, Placement{tt.Fog}, workload.NewRNG(4)); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	tt, c := testContinuum()
+	p := tinyPipeline()
+	var sources []Source
+	for g := range tt.Sensors {
+		for _, s := range tt.Sensors[g] {
+			sources = append(sources, Source{
+				Origin:     s.ID,
+				Arrivals:   workload.NewPoisson(workload.NewRNG(uint64(s.ID)), 5),
+				Events:     25,
+				EventBytes: 300,
+			})
+		}
+	}
+	place := Placement{tt.Fog, tt.Fog}
+	st, err := Run(c, p, sources, place, workload.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(sources) * 25)
+	if st.EventsIn != want || st.EventsOut != want {
+		t.Fatalf("in/out = %d/%d, want %d", st.EventsIn, st.EventsOut, want)
+	}
+	if st.Joules <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestLatencyOrderingEdgeVsCloudForHeavyCompute(t *testing.T) {
+	// With heavy per-event compute and tiny events, the fast cloud beats
+	// the slow gateway even across the WAN.
+	run := func(n *node.Node, tt *core.ThreeTier, c *core.Continuum) float64 {
+		p := Pipeline{Name: "x", Stages: []Stage{
+			{Name: "heavy", WorkPerEvent: 5e9, Selectivity: 1, OutBytes: 64},
+		}}
+		src := Source{
+			Origin:     tt.Sensors[0][0].ID,
+			Arrivals:   workload.NewDeterministic(5.0), // no queueing
+			Events:     10,
+			EventBytes: 100,
+		}
+		st, err := Run(c, p, []Source{src}, Placement{n}, workload.NewRNG(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Latency.Mean()
+	}
+	tt1, c1 := testContinuum()
+	gw := run(tt1.Gateways[0], tt1, c1)
+	tt2, c2 := testContinuum()
+	cl := run(tt2.Cloud, tt2, c2)
+	if cl >= gw {
+		t.Fatalf("cloud %v not faster than gateway %v for heavy compute", cl, gw)
+	}
+}

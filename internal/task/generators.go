@@ -1,0 +1,223 @@
+package task
+
+import (
+	"fmt"
+
+	"continuum/internal/workload"
+)
+
+// Generators for workflow shapes used by the scheduling experiments. Work
+// and data sizes are drawn from lognormal distributions (the standard
+// model for task runtimes) seeded deterministically.
+
+// GenSpec parameterizes random DAG generation.
+type GenSpec struct {
+	// MeanWork is the mean scalar work per task in flops.
+	MeanWork float64
+	// WorkSigma is the lognormal sigma of per-task work (heterogeneity).
+	WorkSigma float64
+	// MeanBytes is the mean intermediate data size per edge.
+	MeanBytes float64
+	// BytesSigma is the lognormal sigma of edge bytes.
+	BytesSigma float64
+}
+
+func (g GenSpec) work(rng *workload.RNG) float64 {
+	return drawLognormalWithMean(rng, g.MeanWork, g.WorkSigma)
+}
+
+func (g GenSpec) bytes(rng *workload.RNG) float64 {
+	return drawLognormalWithMean(rng, g.MeanBytes, g.BytesSigma)
+}
+
+// drawLognormalWithMean draws a lognormal sample whose distribution mean is
+// m: mu = ln(m) - sigma^2/2.
+func drawLognormalWithMean(rng *workload.RNG, m, sigma float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if sigma == 0 {
+		return m
+	}
+	mu := lnv(m) - sigma*sigma/2
+	return rng.Lognormal(mu, sigma)
+}
+
+// Chain builds a linear pipeline of n tasks.
+func Chain(rng *workload.RNG, n int, spec GenSpec) *DAG {
+	d := NewDAG(fmt.Sprintf("chain-%d", n))
+	for i := 0; i < n; i++ {
+		d.AddTask(fmt.Sprintf("stage%d", i), spec.work(rng), spec.bytes(rng))
+	}
+	for i := 0; i+1 < n; i++ {
+		d.Connect(ID(i), ID(i+1), -1)
+	}
+	return d
+}
+
+// FanOutIn builds a scatter-gather: one source, width parallel workers,
+// one sink. The shape of embarrassingly parallel analysis with a reduce.
+func FanOutIn(rng *workload.RNG, width int, spec GenSpec) *DAG {
+	d := NewDAG(fmt.Sprintf("fanoutin-%d", width))
+	src := d.AddTask("scatter", spec.work(rng), spec.bytes(rng))
+	sink := &Task{Name: "gather", ScalarWork: spec.work(rng), OutputBytes: spec.bytes(rng)}
+	for i := 0; i < width; i++ {
+		w := d.AddTask(fmt.Sprintf("work%d", i), spec.work(rng), spec.bytes(rng))
+		d.Connect(src.ID, w.ID, -1)
+	}
+	d.Add(sink)
+	for i := 0; i < width; i++ {
+		d.Connect(ID(i+1), sink.ID, -1)
+	}
+	return d
+}
+
+// RandomLayered builds a layered DAG: layers of random width with edges
+// from each task to 1..maxFanout tasks in the next layer. The generic
+// "scientific workflow" shape used for scheduling robustness sweeps.
+func RandomLayered(rng *workload.RNG, layers, maxWidth, maxFanout int, spec GenSpec) *DAG {
+	if layers < 1 || maxWidth < 1 || maxFanout < 1 {
+		panic("task: RandomLayered requires positive layers, width, fanout")
+	}
+	d := NewDAG(fmt.Sprintf("layered-%dx%d", layers, maxWidth))
+	var layerIDs [][]ID
+	for l := 0; l < layers; l++ {
+		width := rng.Intn(maxWidth) + 1
+		var ids []ID
+		for w := 0; w < width; w++ {
+			t := d.AddTask(fmt.Sprintf("l%dw%d", l, w), spec.work(rng), spec.bytes(rng))
+			ids = append(ids, t.ID)
+		}
+		layerIDs = append(layerIDs, ids)
+	}
+	for l := 0; l+1 < layers; l++ {
+		next := layerIDs[l+1]
+		for _, u := range layerIDs[l] {
+			fanout := rng.Intn(maxFanout) + 1
+			perm := rng.Perm(len(next))
+			if fanout > len(next) {
+				fanout = len(next)
+			}
+			for i := 0; i < fanout; i++ {
+				d.Connect(u, next[perm[i]], -1)
+			}
+		}
+		// Ensure every next-layer task has at least one predecessor so the
+		// DAG stays connected layer to layer.
+		for _, v := range next {
+			if d.InDegree(v) == 0 {
+				u := layerIDs[l][rng.Intn(len(layerIDs[l]))]
+				d.Connect(u, v, -1)
+			}
+		}
+	}
+	return d
+}
+
+// MontageLike builds a DAG shaped like the Montage astronomy mosaic
+// workflow: project N images in parallel, compute pairwise background
+// differences, fit a common background model, correct each image, then
+// co-add into the final mosaic. Proportions follow the published workflow
+// characterizations: wide fan-out stages dominated by many small tasks
+// with one heavy reduction.
+func MontageLike(rng *workload.RNG, images int, spec GenSpec) *DAG {
+	if images < 2 {
+		panic("task: MontageLike requires >= 2 images")
+	}
+	d := NewDAG(fmt.Sprintf("montage-%d", images))
+	// mProject: one per image.
+	project := make([]ID, images)
+	for i := range project {
+		project[i] = d.AddTask(fmt.Sprintf("mProject%d", i), spec.work(rng), spec.bytes(rng)).ID
+	}
+	// mDiff: one per adjacent pair.
+	diff := make([]ID, images-1)
+	for i := range diff {
+		t := d.AddTask(fmt.Sprintf("mDiff%d", i), spec.work(rng)/4, spec.bytes(rng)/4)
+		diff[i] = t.ID
+		d.Connect(project[i], t.ID, -1)
+		d.Connect(project[i+1], t.ID, -1)
+	}
+	// mFit/mBgModel: global reduction over all diffs.
+	model := d.AddTask("mBgModel", spec.work(rng)*2, spec.bytes(rng)/8)
+	for _, dd := range diff {
+		d.Connect(dd, model.ID, -1)
+	}
+	// mBackground: one correction per image, needs the model and the
+	// projected image.
+	background := make([]ID, images)
+	for i := range background {
+		t := d.AddTask(fmt.Sprintf("mBackground%d", i), spec.work(rng)/2, spec.bytes(rng))
+		background[i] = t.ID
+		d.Connect(model.ID, t.ID, -1)
+		d.Connect(project[i], t.ID, -1)
+	}
+	// mAdd: final co-addition, the heavy sink.
+	add := d.AddTask("mAdd", spec.work(rng)*float64(images)/2, spec.bytes(rng)*2)
+	for _, b := range background {
+		d.Connect(b, add.ID, -1)
+	}
+	return d
+}
+
+// CyberShakeLike builds a DAG shaped like the CyberShake seismic-hazard
+// workflow: a few strain-Green-tensor (SGT) generators produce very large
+// datasets consumed by a wide fan of cheap per-site chains (seismogram
+// synthesis → peak ground motion), all folded into one hazard-curve
+// aggregation. Unlike Montage (compute-balanced) or Epigenomics (deep
+// chains), CyberShake is data-movement-dominated: edges out of the SGT
+// roots are ~100x heavier than elsewhere, which punishes schedulers that
+// scatter consumers away from the data.
+func CyberShakeLike(rng *workload.RNG, sites int, spec GenSpec) *DAG {
+	if sites < 1 {
+		panic("task: CyberShakeLike requires >= 1 site")
+	}
+	d := NewDAG(fmt.Sprintf("cybershake-%d", sites))
+	// Two SGT generators: heavy compute, very heavy output.
+	sgtA := d.AddTask("sgtGenX", spec.work(rng)*8, spec.bytes(rng)*100)
+	sgtB := d.AddTask("sgtGenY", spec.work(rng)*8, spec.bytes(rng)*100)
+	agg := &Task{Name: "hazardCurve", ScalarWork: spec.work(rng) * 2, OutputBytes: spec.bytes(rng) / 10}
+	for s := 0; s < sites; s++ {
+		synth := d.AddTask(fmt.Sprintf("synth%d", s), spec.work(rng)/4, spec.bytes(rng))
+		d.Connect(sgtA.ID, synth.ID, -1)
+		d.Connect(sgtB.ID, synth.ID, -1)
+		pgm := d.AddTask(fmt.Sprintf("peakGM%d", s), spec.work(rng)/8, spec.bytes(rng)/10)
+		d.Connect(synth.ID, pgm.ID, -1)
+	}
+	d.Add(agg)
+	for s := 0; s < sites; s++ {
+		// peakGM tasks are every third task after the two roots.
+		pgmID := ID(2 + s*2 + 1)
+		d.Connect(pgmID, agg.ID, -1)
+	}
+	return d
+}
+
+// EpigenomicsLike builds a DAG shaped like the Epigenomics genome-methylation
+// pipeline: independent lanes of chained filtering/alignment stages that
+// merge into a global map/reduce tail. Lanes are deep chains (unlike
+// Montage's wide fans), exercising schedulers on pipeline-parallel shapes.
+func EpigenomicsLike(rng *workload.RNG, lanes, depth int, spec GenSpec) *DAG {
+	if lanes < 1 || depth < 1 {
+		panic("task: EpigenomicsLike requires positive lanes and depth")
+	}
+	d := NewDAG(fmt.Sprintf("epigenomics-%dx%d", lanes, depth))
+	split := d.AddTask("fastqSplit", spec.work(rng), spec.bytes(rng))
+	var laneEnds []ID
+	for l := 0; l < lanes; l++ {
+		prev := split.ID
+		for s := 0; s < depth; s++ {
+			t := d.AddTask(fmt.Sprintf("lane%d.stage%d", l, s), spec.work(rng), spec.bytes(rng))
+			d.Connect(prev, t.ID, -1)
+			prev = t.ID
+		}
+		laneEnds = append(laneEnds, prev)
+	}
+	merge := d.AddTask("mergeSAM", spec.work(rng)*2, spec.bytes(rng)*2)
+	for _, e := range laneEnds {
+		d.Connect(e, merge.ID, -1)
+	}
+	index := d.AddTask("mapIndex", spec.work(rng), spec.bytes(rng))
+	d.Connect(merge.ID, index.ID, -1)
+	return d
+}

@@ -1,0 +1,5 @@
+package task
+
+import "math"
+
+func lnv(x float64) float64 { return math.Log(x) }

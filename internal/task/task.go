@@ -1,0 +1,276 @@
+// Package task models units of work and workflow DAGs for the continuum.
+//
+// A Task carries scalar work (flops on a core), tensor work (flops that an
+// accelerator of the right kind executes far faster), and external data
+// references. A DAG adds producer-consumer edges annotated with the bytes
+// that must move if the endpoints are placed on different nodes — the
+// quantity every placement policy trades against compute speed.
+package task
+
+import (
+	"fmt"
+
+	"continuum/internal/node"
+)
+
+// ID indexes a task within its DAG.
+type ID int
+
+// DataRef names an external dataset a task reads, with its size. The data
+// fabric resolves where replicas live.
+type DataRef struct {
+	Name  string
+	Bytes float64
+}
+
+// Task is one schedulable unit.
+type Task struct {
+	ID   ID
+	Name string
+
+	ScalarWork float64 // flops executed on a core
+	TensorWork float64 // flops targeting Accel
+	Accel      node.AccelKind
+
+	// Inputs are external datasets (not produced by DAG predecessors).
+	Inputs []DataRef
+	// OutputBytes is the size of the result this task materializes; it is
+	// what flows along outgoing edges unless the edge overrides it.
+	OutputBytes float64
+}
+
+// TotalWork returns scalar + tensor flops, a device-independent size proxy.
+func (t *Task) TotalWork() float64 { return t.ScalarWork + t.TensorWork }
+
+// Edge is a producer→consumer dependency carrying Bytes of intermediate
+// data.
+type Edge struct {
+	From, To ID
+	Bytes    float64
+}
+
+// DAG is a directed acyclic graph of tasks.
+type DAG struct {
+	Name  string
+	Tasks []*Task
+	Edges []Edge
+
+	succ, pred [][]int // adjacency by edge index, built lazily
+	built      bool
+}
+
+// NewDAG returns an empty DAG with the given name.
+func NewDAG(name string) *DAG {
+	return &DAG{Name: name}
+}
+
+// Add appends a task, assigns its ID, and returns it.
+func (d *DAG) Add(t *Task) *Task {
+	t.ID = ID(len(d.Tasks))
+	d.Tasks = append(d.Tasks, t)
+	d.built = false
+	return t
+}
+
+// AddTask is a convenience constructor: scalar-only work with output size.
+func (d *DAG) AddTask(name string, scalarWork, outputBytes float64) *Task {
+	return d.Add(&Task{Name: name, ScalarWork: scalarWork, OutputBytes: outputBytes})
+}
+
+// Connect adds an edge moving bytes from producer to consumer. A negative
+// bytes value means "use the producer's OutputBytes".
+func (d *DAG) Connect(from, to ID, bytes float64) {
+	if bytes < 0 {
+		bytes = d.Tasks[from].OutputBytes
+	}
+	d.Edges = append(d.Edges, Edge{From: from, To: to, Bytes: bytes})
+	d.built = false
+}
+
+// N returns the number of tasks.
+func (d *DAG) N() int { return len(d.Tasks) }
+
+func (d *DAG) build() {
+	if d.built {
+		return
+	}
+	n := len(d.Tasks)
+	d.succ = make([][]int, n)
+	d.pred = make([][]int, n)
+	for i, e := range d.Edges {
+		d.succ[e.From] = append(d.succ[e.From], i)
+		d.pred[e.To] = append(d.pred[e.To], i)
+	}
+	d.built = true
+}
+
+// Successors returns the edges leaving t.
+func (d *DAG) Successors(t ID) []Edge {
+	d.build()
+	out := make([]Edge, len(d.succ[t]))
+	for i, ei := range d.succ[t] {
+		out[i] = d.Edges[ei]
+	}
+	return out
+}
+
+// Predecessors returns the edges entering t.
+func (d *DAG) Predecessors(t ID) []Edge {
+	d.build()
+	out := make([]Edge, len(d.pred[t]))
+	for i, ei := range d.pred[t] {
+		out[i] = d.Edges[ei]
+	}
+	return out
+}
+
+// InDegree returns the number of incoming edges of t.
+func (d *DAG) InDegree(t ID) int {
+	d.build()
+	return len(d.pred[t])
+}
+
+// Roots returns tasks with no predecessors.
+func (d *DAG) Roots() []ID {
+	d.build()
+	var roots []ID
+	for i := range d.Tasks {
+		if len(d.pred[i]) == 0 {
+			roots = append(roots, ID(i))
+		}
+	}
+	return roots
+}
+
+// Sinks returns tasks with no successors.
+func (d *DAG) Sinks() []ID {
+	d.build()
+	var sinks []ID
+	for i := range d.Tasks {
+		if len(d.succ[i]) == 0 {
+			sinks = append(sinks, ID(i))
+		}
+	}
+	return sinks
+}
+
+// Validate checks edge endpoints and acyclicity.
+func (d *DAG) Validate() error {
+	n := len(d.Tasks)
+	for _, e := range d.Edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return fmt.Errorf("task: edge %v out of range [0,%d)", e, n)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("task: self-edge on %d", e.From)
+		}
+		if e.Bytes < 0 {
+			return fmt.Errorf("task: negative edge bytes %v", e.Bytes)
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order (Kahn), or an error if the graph
+// has a cycle. Ties are broken by task ID for determinism.
+func (d *DAG) TopoOrder() ([]ID, error) {
+	d.build()
+	n := len(d.Tasks)
+	indeg := make([]int, n)
+	for i := range d.Tasks {
+		indeg[i] = len(d.pred[i])
+	}
+	// Deterministic Kahn: repeatedly take the smallest ready ID. A simple
+	// sorted frontier is fine at workflow scales.
+	var order []ID
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Pop the minimum.
+		mi := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[mi] {
+				mi = i
+			}
+		}
+		u := ready[mi]
+		ready = append(ready[:mi], ready[mi+1:]...)
+		order = append(order, ID(u))
+		for _, ei := range d.succ[u] {
+			v := int(d.Edges[ei].To)
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("task: DAG %q has a cycle (%d of %d ordered)", d.Name, len(order), n)
+	}
+	return order, nil
+}
+
+// CriticalPath returns the longest path length through the DAG where each
+// task costs compute(t) seconds and each edge costs comm(e) seconds, plus
+// one witness path. It is the classic makespan lower bound.
+func (d *DAG) CriticalPath(compute func(*Task) float64, comm func(Edge) float64) (float64, []ID) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic(err) // callers validate first; a cycle is a programming error
+	}
+	n := len(d.Tasks)
+	dist := make([]float64, n)
+	via := make([]ID, n)
+	for i := range via {
+		via[i] = -1
+	}
+	best := 0.0
+	bestEnd := ID(-1)
+	for _, u := range order {
+		dist[u] += compute(d.Tasks[u])
+		if dist[u] > best {
+			best = dist[u]
+			bestEnd = u
+		}
+		for _, e := range d.Successors(u) {
+			cand := dist[u] + comm(e)
+			if cand > dist[e.To] {
+				dist[e.To] = cand
+				via[e.To] = u
+			}
+		}
+	}
+	var path []ID
+	for at := bestEnd; at >= 0; at = via[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path
+}
+
+// TotalWork sums flops over all tasks.
+func (d *DAG) TotalWork() float64 {
+	sum := 0.0
+	for _, t := range d.Tasks {
+		sum += t.TotalWork()
+	}
+	return sum
+}
+
+// TotalEdgeBytes sums intermediate data over all edges.
+func (d *DAG) TotalEdgeBytes() float64 {
+	sum := 0.0
+	for _, e := range d.Edges {
+		sum += e.Bytes
+	}
+	return sum
+}

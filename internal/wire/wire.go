@@ -1,0 +1,290 @@
+// Package wire exposes the faas layer over TCP with a length-prefixed
+// JSON frame protocol, giving the reproduction a real multi-process mode:
+// continuumd serves endpoints, continuumctl (or any Client) invokes
+// functions across them. Frames are capped to guard against runaway
+// peers; connections handle requests sequentially while the server
+// accepts connections concurrently.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"continuum/internal/faas"
+)
+
+// MaxFrame bounds a single frame (16 MiB) so a corrupt length prefix
+// cannot allocate unbounded memory.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpInvoke Op = "invoke"
+	OpBatch  Op = "batch"
+	OpList   Op = "list"
+	OpStats  Op = "stats"
+	OpPing   Op = "ping"
+)
+
+// Request is a client frame.
+type Request struct {
+	Op      Op       `json:"op"`
+	Fn      string   `json:"fn,omitempty"`
+	Payload []byte   `json:"payload,omitempty"`
+	Batch   [][]byte `json:"batch,omitempty"`
+}
+
+// EndpointStats mirrors one endpoint's counters.
+type EndpointStats struct {
+	Name        string `json:"name"`
+	Capacity    int    `json:"capacity"`
+	Running     int64  `json:"running"`
+	Invocations int64  `json:"invocations"`
+	ColdStarts  int64  `json:"cold_starts"`
+	WarmHits    int64  `json:"warm_hits"`
+}
+
+// Response is a server frame.
+type Response struct {
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Payload []byte          `json:"payload,omitempty"`
+	Batch   [][]byte        `json:"batch,omitempty"`
+	Names   []string        `json:"names,omitempty"`
+	Stats   []EndpointStats `json:"stats,omitempty"`
+}
+
+// WriteFrame writes v as a 4-byte big-endian length followed by JSON.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Server serves the protocol over accepted connections.
+type Server struct {
+	Invoker faas.Invoker
+	Batcher interface {
+		InvokeBatch(fn string, payloads [][]byte) ([][]byte, error)
+	}
+	Registry  *faas.Registry
+	Endpoints []*faas.Endpoint
+
+	mu     sync.Mutex
+	lis    net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// after Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			return // EOF or bad peer: drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpInvoke:
+		out, err := s.Invoker.Invoke(req.Fn, req.Payload)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Payload: out}
+	case OpBatch:
+		if s.Batcher == nil {
+			return &Response{Error: "wire: batch unsupported"}
+		}
+		outs, err := s.Batcher.InvokeBatch(req.Fn, req.Batch)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Batch: outs}
+	case OpList:
+		if s.Registry == nil {
+			return &Response{Error: "wire: no registry"}
+		}
+		return &Response{OK: true, Names: s.Registry.Names()}
+	case OpStats:
+		var stats []EndpointStats
+		for _, ep := range s.Endpoints {
+			stats = append(stats, EndpointStats{
+				Name:        ep.Name(),
+				Capacity:    ep.Capacity(),
+				Running:     ep.Running(),
+				Invocations: ep.Invocations(),
+				ColdStarts:  ep.ColdStarts(),
+				WarmHits:    ep.WarmHits(),
+			})
+		}
+		return &Response{OK: true, Stats: stats}
+	default:
+		return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
+	}
+}
+
+// Client is a synchronous protocol client. It is safe for concurrent use:
+// calls serialize on the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Invoke calls fn remotely.
+func (c *Client) Invoke(fn string, payload []byte) ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpInvoke, Fn: fn, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// InvokeBatch calls fn with several payloads in one frame.
+func (c *Client) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpBatch, Fn: fn, Batch: payloads})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}
+
+// List returns registered function names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Stats returns per-endpoint counters.
+func (c *Client) Stats() ([]EndpointStats, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

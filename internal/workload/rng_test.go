@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling sub-streams produced identical first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered %d values, want 7", len(seen))
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const rate = 2.5
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp = %v < 0", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const mu, sd = 3.0, 2.0
+	sum, sq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Norm(mu, sd)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-mu) > 0.05 {
+		t.Fatalf("Norm mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("Norm sd = %v, want ~%v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	r := NewRNG(17)
+	const mu, sigma = 0.0, 0.5
+	sum := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += r.Lognormal(mu, sigma)
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if mean := sum / n; math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("Lognormal mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestParetoMinimumAndMean(t *testing.T) {
+	r := NewRNG(19)
+	const xm, alpha = 2.0, 3.0
+	sum := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto = %v < xm %v", v, xm)
+		}
+		sum += v
+	}
+	want := alpha * xm / (alpha - 1)
+	if mean := sum / n; math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("Pareto mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPropertyPermAlwaysPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%50) + 1
+		p := NewRNG(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(29)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should dominate rank 10 by roughly 11x under s=1.
+	if counts[0] < 5*counts[10] {
+		t.Fatalf("Zipf skew too weak: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+	// Every rank should still be reachable-ish; at least the top half.
+	for i := 0; i < 50; i++ {
+		if counts[i] == 0 {
+			t.Fatalf("rank %d never sampled", i)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(31)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Fatalf("s=0 not uniform: counts[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestPropertyZipfInRange(t *testing.T) {
+	f := func(seed uint64, n uint8, s uint8) bool {
+		size := int(n%30) + 1
+		z := NewZipf(NewRNG(seed), size, float64(s%3))
+		for i := 0; i < 100; i++ {
+			v := z.Next()
+			if v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+package workload
+
+import "math"
+
+func expm(x float64) float64 { return math.Exp(x) }
+
+func inf() float64 { return math.Inf(1) }
