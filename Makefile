@@ -1,0 +1,15 @@
+# Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
+
+.PHONY: check build test bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .

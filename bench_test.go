@@ -11,6 +11,7 @@ package continuum_test
 import (
 	"testing"
 
+	"continuum/internal/core"
 	"continuum/internal/experiments"
 	"continuum/internal/netsim"
 	"continuum/internal/node"
@@ -111,6 +112,55 @@ func BenchmarkMinMin50(b *testing.B) {
 			b.Fatal("incomplete")
 		}
 	}
+}
+
+// BenchmarkEngineOverhead guards the cost of the unified execution
+// engine (internal/core/engine.go) on the event hot path: each iteration
+// drives 200 stream jobs through the full stage→execute→account→deliver
+// pipeline on a two-node continuum. The reliable-nofault variant runs the
+// identical workload through RunStreamReliable with zero-value options,
+// so the delta between the two sub-benchmarks is exactly what the fault
+// hook costs when disarmed. Compare against the seed's BENCH_*.json rows
+// before accepting regressions here — this is the dispatch loop every
+// experiment's inner iteration pays.
+func BenchmarkEngineOverhead(b *testing.B) {
+	cat := node.Catalog()
+	mk := func() (*core.Continuum, []core.StreamJob) {
+		gw := cat["gateway"]
+		gw.Name = "gw"
+		cl := cat["cloud"]
+		cl.Name = "cloud"
+		c := core.New()
+		a := c.AddNode(gw)
+		d := c.AddNode(cl)
+		c.Connect(a.ID, d.ID, 0.020, 1.25e9)
+		jobs := make([]core.StreamJob, 200)
+		for i := range jobs {
+			jobs[i] = core.StreamJob{
+				Task:   &task.Task{Name: "t", ScalarWork: 1e8, OutputBytes: 128},
+				Origin: a.ID,
+				Submit: float64(i) * 0.01,
+			}
+		}
+		return c, jobs
+	}
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, jobs := mk()
+			if st := c.RunStream(placement.GreedyLatency{}, jobs, nil); st.Completed != 200 {
+				b.Fatal("jobs lost")
+			}
+		}
+	})
+	b.Run("stream-reliable-nofault", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, jobs := mk()
+			st := c.RunStreamReliable(placement.GreedyLatency{}, jobs, nil, core.ReliableOptions{})
+			if st.Completed != 200 {
+				b.Fatal("jobs lost")
+			}
+		}
+	})
 }
 
 // Substrate microbenchmarks.

@@ -62,7 +62,10 @@ func main() {
 		}},
 	}
 
-	tbl := metrics.NewTable("", "scheduler", "est_makespan", "measured", "energy", "cost")
+	// mean_task_lat is per-task ready→finish (core.Stats.Latency): how
+	// long a task spends staging, queued, and executing once runnable —
+	// the scheduler-quality signal makespan alone hides.
+	tbl := metrics.NewTable("", "scheduler", "est_makespan", "measured", "mean_task_lat", "energy", "cost")
 	for _, s := range schedulers {
 		c := buildContinuum()
 		env := c.Env()
@@ -75,6 +78,7 @@ func main() {
 			s.name,
 			metrics.FormatDuration(sched.EstMakespan),
 			metrics.FormatDuration(st.Makespan),
+			metrics.FormatDuration(st.Latency.Mean()),
 			fmt.Sprintf("%.0f J", st.Joules),
 			fmt.Sprintf("$%.4f", st.Dollars),
 		)

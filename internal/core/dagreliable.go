@@ -1,12 +1,8 @@
 package core
 
 import (
-	"fmt"
-
-	"continuum/internal/netsim"
 	"continuum/internal/placement"
 	"continuum/internal/task"
-	"continuum/internal/trace"
 )
 
 // RunDAGReliable executes a static schedule on a continuum with failing
@@ -19,104 +15,11 @@ import (
 //
 // Retries wait for the assigned node to come back (static schedules pin
 // tasks); RetryBackoff paces the re-check while the node is down.
+//
+// It is the same engine as RunDAG with the fault hook engaged: external
+// inputs stage through the fabric when one is enabled, and
+// TaskStart/TaskEnd/TransferStart/TransferEnd trace records are emitted
+// exactly as in base runs (plus Failure records for lost attempts).
 func (c *Continuum) RunDAGReliable(d *task.DAG, sched placement.Schedule, env *placement.Env, opts ReliableOptions) (*ReliableStats, error) {
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	if len(sched.Assign) != d.N() {
-		return nil, fmt.Errorf("core: schedule covers %d of %d tasks", len(sched.Assign), d.N())
-	}
-	if opts.RetryBackoff <= 0 {
-		opts.RetryBackoff = 0.1
-	}
-	st := &ReliableStats{Stats: newStats()}
-
-	waiting := make([]int, d.N())
-	for i := 0; i < d.N(); i++ {
-		waiting[i] = d.InDegree(task.ID(i))
-	}
-	started := make([]bool, d.N())
-	var aborted bool
-
-	var tryStart func(id task.ID)
-	var runTask func(id task.ID, retriesLeft int)
-	runTask = func(id task.ID, retriesLeft int) {
-		if aborted {
-			return
-		}
-		tk := d.Tasks[id]
-		n := env.Nodes[sched.Assign[id]]
-		retry := func() {
-			if retriesLeft <= 0 {
-				st.Lost++
-				aborted = true
-				return
-			}
-			st.Retries++
-			c.K.After(opts.RetryBackoff, func() {
-				runTask(id, retriesLeft-1)
-			})
-		}
-		if !opts.up(n) {
-			retry() // wait out the downtime without consuming the task
-			return
-		}
-		epoch0 := opts.epoch(n)
-		c.Tracer.Record(c.K.Now(), trace.TaskStart, n.Name, tk.Name)
-		n.Execute(tk.ScalarWork, tk.TensorWork, tk.Accel, func() {
-			now := c.K.Now()
-			if opts.epoch(n) != epoch0 {
-				c.Tracer.Record(now, trace.Failure, n.Name, tk.Name+" lost")
-				retry()
-				return
-			}
-			c.Tracer.Record(now, trace.TaskEnd, n.Name, tk.Name)
-			st.Completed++
-			st.PerNode[n.Name]++
-			if now > st.Makespan {
-				st.Makespan = now
-			}
-			execTime := n.ExecTime(tk.ScalarWork, tk.TensorWork, tk.Accel)
-			st.Dollars += n.DollarCost(execTime)
-			for _, e := range d.Successors(id) {
-				e := e
-				dst := env.Nodes[sched.Assign[e.To]]
-				if dst.ID == n.ID {
-					waiting[e.To]--
-					tryStart(e.To)
-					continue
-				}
-				if n.EgressPerByte > 0 {
-					st.Dollars += n.EgressPerByte * e.Bytes
-					st.EgressB += e.Bytes
-				}
-				c.Net.Transfer(n.ID, dst.ID, e.Bytes, func(*netsim.Flow) {
-					waiting[e.To]--
-					tryStart(e.To)
-				})
-			}
-		})
-	}
-
-	tryStart = func(id task.ID) {
-		if started[id] || waiting[id] > 0 || aborted {
-			return
-		}
-		started[id] = true
-		runTask(id, opts.MaxRetries)
-	}
-
-	for _, r := range d.Roots() {
-		tryStart(r)
-	}
-	c.K.Run()
-	st.Joules = c.TotalJoules()
-
-	if aborted {
-		return st, fmt.Errorf("core: DAG aborted after exhausting retries (%d tasks completed)", st.Completed)
-	}
-	if st.Completed != int64(d.N()) {
-		return st, fmt.Errorf("core: only %d of %d tasks completed", st.Completed, d.N())
-	}
-	return st, nil
+	return c.runDAG(d, sched, env, opts)
 }

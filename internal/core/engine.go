@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"continuum/internal/data"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/placement"
+	"continuum/internal/task"
+	"continuum/internal/trace"
+)
+
+// engine is the single execution loop behind all four public runners
+// (RunStream, RunStreamReliable, RunDAG, RunDAGReliable). Every unit of
+// work — an online stream job or one DAG task — flows through the same
+// pipeline:
+//
+//	stage inputs → epoch-check → execute → epoch-check →
+//	    account cost/egress → deliver outputs → feedback/trace
+//
+// Fault-awareness is not a separate runner: it is the ReliableOptions
+// hook. With the zero value (no Faults) every epoch-check is a no-op and
+// no retry can ever fire, so a reliable run without faults is the same
+// computation as a base run — the equivalence property engine_test.go
+// asserts. New runner features (deadlines, preemption, speculation)
+// belong here, where all four entry points inherit them at once.
+type engine struct {
+	c    *Continuum
+	st   *ReliableStats
+	opts ReliableOptions
+	// fb receives measured latencies when the policy implements
+	// placement.FeedbackPolicy (stream runs only).
+	fb placement.FeedbackPolicy
+}
+
+// defaultRetryBackoff paces re-dispatch when ReliableOptions leaves
+// RetryBackoff unset.
+const defaultRetryBackoff = 0.1
+
+func newEngine(c *Continuum, opts ReliableOptions) *engine {
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	return &engine{c: c, st: &ReliableStats{Stats: newStats()}, opts: opts}
+}
+
+// unit is one attempt at executing a task on a chosen node.
+type unit struct {
+	task *task.Task
+	node *node.Node
+
+	// origin, when >= 0, is the vertex inputs are shipped from when no
+	// fabric serves them (stream semantics). DAG tasks pass -1: their
+	// inputs arrive via fabric staging or predecessor edge transfers.
+	origin int
+
+	// deliver runs after successful execution and cost accounting, at
+	// virtual time execEnd: stream jobs send the reply message, DAG
+	// tasks count completion and launch successor edge transfers.
+	deliver func(execEnd float64)
+
+	// lost runs instead of deliver when the host's failure epoch
+	// advanced mid-attempt (inputs or results on a failed node).
+	lost func()
+}
+
+// run drives one attempt through the pipeline. Epoch checks bracket the
+// execution: the epoch is sampled at dispatch, re-checked after input
+// staging and after execution, and any advance routes to u.lost with a
+// Failure trace record. With zero-value options both checks are no-ops.
+func (e *engine) run(u unit) {
+	epoch0 := e.opts.epoch(u.node)
+	e.stage(u, func() {
+		if e.opts.epoch(u.node) != epoch0 {
+			e.c.Tracer.Record(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" inputs lost")
+			u.lost()
+			return
+		}
+		e.c.Tracer.Record(e.c.K.Now(), trace.TaskStart, u.node.Name, u.task.Name)
+		u.node.Execute(u.task.ScalarWork, u.task.TensorWork, u.task.Accel, func() {
+			now := e.c.K.Now()
+			if e.opts.epoch(u.node) != epoch0 {
+				e.c.Tracer.Record(now, trace.Failure, u.node.Name, u.task.Name+" lost")
+				u.lost()
+				return
+			}
+			e.c.Tracer.Record(now, trace.TaskEnd, u.node.Name, u.task.Name)
+			execTime := u.node.ExecTime(u.task.ScalarWork, u.task.TensorWork, u.task.Accel)
+			e.st.Dollars += u.node.DollarCost(execTime)
+			u.deliver(now)
+		})
+	})
+}
+
+// stage makes the unit's inputs resident on its node, then calls next.
+// With a fabric enabled every input stages through it (cache hits and
+// transfer coalescing apply — for reliable runs too). Otherwise stream
+// jobs ship their input bytes from the origin vertex in one message, and
+// DAG tasks' external inputs are modeled as already resident
+// (predecessor edges move intermediate data explicitly).
+func (e *engine) stage(u unit, next func()) {
+	if e.c.Fabric != nil && len(u.task.Inputs) > 0 {
+		pending := len(u.task.Inputs)
+		for _, in := range u.task.Inputs {
+			ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
+			e.c.Fabric.Stage(ds, u.node.ID, func(bool) {
+				pending--
+				if pending == 0 {
+					next()
+				}
+			})
+		}
+		return
+	}
+	if u.origin >= 0 {
+		inBytes := 0.0
+		for _, in := range u.task.Inputs {
+			inBytes += in.Bytes
+		}
+		e.c.Net.Message(u.origin, u.node.ID, inBytes, next)
+		return
+	}
+	next()
+}
+
+// egress charges n's per-byte egress price for bytes leaving n toward
+// vertex dst and tallies them in Stats.EgressB. Local delivery (dst is
+// n itself) and unbilled nodes are free. This is the single egress
+// accounting point for replies and DAG edges alike.
+func (e *engine) egress(n *node.Node, dst int, bytes float64) {
+	if n.ID == dst || n.EgressPerByte <= 0 {
+		return
+	}
+	e.st.Dollars += n.EgressPerByte * bytes
+	e.st.EgressB += bytes
+}
+
+// complete finalizes one successful unit at the current virtual time:
+// completion counters, the latency observation (now − latencyBase, see
+// Stats.Latency for what the base is per workload kind), policy
+// feedback, and the makespan high-water mark.
+func (e *engine) complete(n *node.Node, latencyBase float64) {
+	now := e.c.K.Now()
+	e.st.Completed++
+	e.st.PerNode[n.Name]++
+	lat := now - latencyBase
+	e.st.Latency.Add(lat)
+	if e.fb != nil {
+		e.fb.Observe(n.ID, lat)
+	}
+	if now > e.st.Makespan {
+		e.st.Makespan = now
+	}
+}
+
+// retry re-enqueues a failed attempt after RetryBackoff, or counts the
+// unit lost and calls exhausted (may be nil) once the budget is spent.
+func (e *engine) retry(retriesLeft int, again, exhausted func()) {
+	if retriesLeft <= 0 {
+		e.st.Lost++
+		if exhausted != nil {
+			exhausted()
+		}
+		return
+	}
+	e.st.Retries++
+	e.c.K.After(e.opts.RetryBackoff, again)
+}
+
+// runStream is the engine configuration shared by RunStream and
+// RunStreamReliable: per-job placement at submit time, inputs staged to
+// the chosen node, reply shipped back to the origin, latency measured
+// submit→reply (including any retries).
+func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates []*node.Node, opts ReliableOptions) *ReliableStats {
+	if len(candidates) == 0 {
+		candidates = c.Nodes
+	}
+	e := newEngine(c, opts)
+	e.fb, _ = pol.(placement.FeedbackPolicy)
+
+	// Without faults every candidate is always live: build the placement
+	// env once and keep it off the per-job hot path.
+	staticEnv := &placement.Env{Net: c.Net, Nodes: candidates, Fabric: c.Fabric}
+
+	var attempt func(j StreamJob, retriesLeft int)
+	attempt = func(j StreamJob, retriesLeft int) {
+		again := func() { attempt(j, retriesLeft-1) }
+		env := staticEnv
+		if len(e.opts.Faults) > 0 {
+			live := make([]*node.Node, 0, len(candidates))
+			for _, n := range candidates {
+				if e.opts.up(n) {
+					live = append(live, n)
+				}
+			}
+			if len(live) == 0 {
+				e.retry(retriesLeft, again, nil)
+				return
+			}
+			env = &placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
+		}
+		n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
+		e.run(unit{
+			task:   j.Task,
+			node:   n,
+			origin: j.Origin,
+			deliver: func(float64) {
+				e.egress(n, j.Origin, j.Task.OutputBytes)
+				c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
+					e.complete(n, j.Submit)
+				})
+			},
+			lost: func() { e.retry(retriesLeft, again, nil) },
+		})
+	}
+
+	for _, j := range jobs {
+		j := j
+		c.K.At(j.Submit, func() { attempt(j, opts.MaxRetries) })
+	}
+	c.K.Run()
+	e.st.Joules = c.TotalJoules()
+	return e.st
+}
+
+// runDAG is the engine configuration shared by RunDAG and
+// RunDAGReliable: tasks start when their last prerequisite edge arrives,
+// completed outputs are durable (cross-node successor edges are bulk
+// transfers), and latency is measured per task ready→finish. Retries
+// wait for the assigned node (static schedules pin tasks); exhausting a
+// task's retry budget aborts the run.
+func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement.Env, opts ReliableOptions) (*ReliableStats, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sched.Assign) != d.N() {
+		return nil, fmt.Errorf("core: schedule covers %d of %d tasks", len(sched.Assign), d.N())
+	}
+	e := newEngine(c, opts)
+
+	// waiting[t] counts unsatisfied prerequisites: one per incoming edge.
+	waiting := make([]int, d.N())
+	for i := 0; i < d.N(); i++ {
+		waiting[i] = d.InDegree(task.ID(i))
+	}
+	started := make([]bool, d.N())
+	readyAt := make([]float64, d.N())
+	var aborted bool
+
+	var tryStart func(id task.ID)
+	var runTask func(id task.ID, retriesLeft int)
+
+	// arrive delivers one prerequisite edge to id.
+	arrive := func(id task.ID) {
+		waiting[id]--
+		tryStart(id)
+	}
+
+	runTask = func(id task.ID, retriesLeft int) {
+		if aborted {
+			return
+		}
+		tk := d.Tasks[id]
+		n := env.Nodes[sched.Assign[id]]
+		retry := func() {
+			e.retry(retriesLeft,
+				func() { runTask(id, retriesLeft-1) },
+				func() { aborted = true })
+		}
+		if !e.opts.up(n) {
+			retry() // wait out the downtime; the schedule pins the task here
+			return
+		}
+		e.run(unit{
+			task:   tk,
+			node:   n,
+			origin: -1,
+			deliver: func(execEnd float64) {
+				e.complete(n, readyAt[id])
+				for _, edge := range d.Successors(id) {
+					edge := edge
+					dst := env.Nodes[sched.Assign[edge.To]]
+					if dst.ID == n.ID {
+						arrive(edge.To)
+						continue
+					}
+					e.egress(n, dst.ID, edge.Bytes)
+					c.Tracer.Record(execEnd, trace.TransferStart, n.Name+"->"+dst.Name,
+						fmt.Sprintf("%.0fB", edge.Bytes))
+					c.Net.Transfer(n.ID, dst.ID, edge.Bytes, func(*netsim.Flow) {
+						c.Tracer.Record(c.K.Now(), trace.TransferEnd, n.Name+"->"+dst.Name, "")
+						arrive(edge.To)
+					})
+				}
+			},
+			lost: retry,
+		})
+	}
+
+	tryStart = func(id task.ID) {
+		if started[id] || waiting[id] > 0 || aborted {
+			return
+		}
+		started[id] = true
+		readyAt[id] = c.K.Now()
+		runTask(id, e.opts.MaxRetries)
+	}
+
+	for _, r := range d.Roots() {
+		tryStart(r)
+	}
+	c.K.Run()
+	e.st.Joules = c.TotalJoules()
+
+	if aborted {
+		return e.st, fmt.Errorf("core: DAG aborted after exhausting retries (%d tasks completed)", e.st.Completed)
+	}
+	if e.st.Completed != int64(d.N()) {
+		return e.st, fmt.Errorf("core: only %d of %d tasks completed", e.st.Completed, d.N())
+	}
+	return e.st, nil
+}

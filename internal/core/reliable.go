@@ -6,7 +6,10 @@ import (
 	"continuum/internal/placement"
 )
 
-// ReliableOptions configures failure-aware execution.
+// ReliableOptions configures failure-aware execution. It is the engine's
+// fault hook (see engine.go): the zero value makes every availability and
+// epoch check a no-op, so a runner configured with it reproduces the
+// corresponding base runner exactly.
 type ReliableOptions struct {
 	// Faults maps node IDs to their failure targets; nodes absent from
 	// the map are considered always-up.
@@ -14,7 +17,7 @@ type ReliableOptions struct {
 	// MaxRetries bounds re-dispatches per job (0 = fail on first loss).
 	MaxRetries int
 	// RetryBackoff is the delay before re-dispatching a lost or
-	// unplaceable job.
+	// unplaceable job. Defaults to 0.1s when unset.
 	RetryBackoff float64
 }
 
@@ -36,7 +39,7 @@ func (r *ReliableStats) SuccessRate() float64 {
 	return float64(r.Completed) / float64(total)
 }
 
-// upTarget reports whether the node is currently up per opts.
+// up reports whether the node is currently up per opts.
 func (o *ReliableOptions) up(n *node.Node) bool {
 	t, ok := o.Faults[n.ID]
 	return !ok || t.Up()
@@ -55,84 +58,11 @@ func (o *ReliableOptions) epoch(n *node.Node) uint64 {
 // host fails mid-flight (epoch change between dispatch and completion) is
 // lost and re-dispatched up to MaxRetries times. Latency is measured
 // submit→reply including retries. RunStreamReliable owns the kernel.
+//
+// It is the same engine as RunStream with the fault hook engaged: inputs
+// stage through the fabric when one is enabled, and TaskStart/TaskEnd
+// trace records are emitted exactly as in base runs (plus Failure records
+// for lost attempts).
 func (c *Continuum) RunStreamReliable(pol placement.Policy, jobs []StreamJob, candidates []*node.Node, opts ReliableOptions) *ReliableStats {
-	if len(candidates) == 0 {
-		candidates = c.Nodes
-	}
-	if opts.RetryBackoff <= 0 {
-		opts.RetryBackoff = 0.1
-	}
-	st := &ReliableStats{Stats: newStats()}
-	fb, _ := pol.(placement.FeedbackPolicy)
-
-	var attempt func(j StreamJob, retriesLeft int)
-	attempt = func(j StreamJob, retriesLeft int) {
-		retry := func() {
-			if retriesLeft <= 0 {
-				st.Lost++
-				return
-			}
-			st.Retries++
-			c.K.After(opts.RetryBackoff, func() {
-				attempt(j, retriesLeft-1)
-			})
-		}
-
-		var live []*node.Node
-		for _, n := range candidates {
-			if opts.up(n) {
-				live = append(live, n)
-			}
-		}
-		if len(live) == 0 {
-			retry()
-			return
-		}
-		env := &placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
-		n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
-		epoch0 := opts.epoch(n)
-
-		inBytes := 0.0
-		for _, in := range j.Task.Inputs {
-			inBytes += in.Bytes
-		}
-		c.Net.Message(j.Origin, n.ID, inBytes, func() {
-			if opts.epoch(n) != epoch0 {
-				retry() // host failed while the input was in flight
-				return
-			}
-			n.Execute(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel, func() {
-				if opts.epoch(n) != epoch0 {
-					retry() // host failed during execution: result lost
-					return
-				}
-				execTime := n.ExecTime(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel)
-				st.Dollars += n.DollarCost(execTime)
-				if n.ID != j.Origin && n.EgressPerByte > 0 {
-					st.Dollars += n.EgressPerByte * j.Task.OutputBytes
-					st.EgressB += j.Task.OutputBytes
-				}
-				c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
-					st.Completed++
-					st.PerNode[n.Name]++
-					lat := c.K.Now() - j.Submit
-					st.Latency.Add(lat)
-					if fb != nil {
-						fb.Observe(n.ID, lat)
-					}
-					if c.K.Now() > st.Makespan {
-						st.Makespan = c.K.Now()
-					}
-				})
-			})
-		})
-	}
-
-	for _, j := range jobs {
-		j := j
-		c.K.At(j.Submit, func() { attempt(j, opts.MaxRetries) })
-	}
-	c.K.Run()
-	st.Joules = c.TotalJoules()
-	return st
+	return c.runStream(pol, jobs, candidates, opts)
 }

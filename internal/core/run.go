@@ -1,27 +1,38 @@
 package core
 
 import (
-	"fmt"
-
-	"continuum/internal/data"
 	"continuum/internal/metrics"
-	"continuum/internal/netsim"
 	"continuum/internal/node"
 	"continuum/internal/placement"
 	"continuum/internal/task"
-	"continuum/internal/trace"
 )
 
-// Stats summarizes one workload run.
+// Stats summarizes one workload run. All four runners produce it through
+// the same engine (see engine.go), so every field has one definition:
 type Stats struct {
 	Completed int64
-	Latency   *metrics.Histogram // per-task end-to-end seconds
-	Joules    float64            // total energy integrated over the run
-	Dollars   float64            // accumulated node-time + egress cost
-	EgressB   float64            // bytes leaving billed nodes
-	Makespan  float64            // virtual time when the last task finished
 
-	// PerNode counts completed tasks per node name.
+	// Latency is the per-unit latency distribution in seconds.
+	//
+	// Stream runs: one sample per completed job, submit→reply — from the
+	// job's virtual submission time until its output message lands back
+	// at the origin vertex, including input staging, queueing, and (for
+	// reliable runs) retry backoff and re-dispatch.
+	//
+	// DAG runs: one sample per completed task, ready→finish — from the
+	// instant the task's last prerequisite edge arrived (submission time
+	// for roots) until its execution completes, including input staging,
+	// core queueing, and any retries. Successor edge transfers are not
+	// part of the producing task's latency; they show up in the
+	// consumer's ready time instead.
+	Latency *metrics.Histogram
+
+	Joules   float64 // total energy integrated over the run
+	Dollars  float64 // accumulated node-time + egress cost
+	EgressB  float64 // bytes leaving billed nodes
+	Makespan float64 // virtual time when the last unit finished
+
+	// PerNode counts completed units per node name.
 	PerNode map[string]int64
 }
 
@@ -43,73 +54,10 @@ type StreamJob struct {
 // nodes when nil.
 //
 // RunStream owns the kernel: it schedules all submissions and runs the
-// simulation to completion.
+// simulation to completion. It is the zero-value-options configuration of
+// the unified engine; see RunStreamReliable for the fault-aware one.
 func (c *Continuum) RunStream(pol placement.Policy, jobs []StreamJob, candidates []*node.Node) *Stats {
-	if len(candidates) == 0 {
-		candidates = c.Nodes
-	}
-	env := &placement.Env{Net: c.Net, Nodes: candidates, Fabric: c.Fabric}
-	st := newStats()
-
-	fb, _ := pol.(placement.FeedbackPolicy)
-	for _, j := range jobs {
-		j := j
-		c.K.At(j.Submit, func() {
-			n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
-			c.dispatch(j, n, st, fb)
-		})
-	}
-	c.K.Run()
-	st.Joules = c.TotalJoules()
-	return st
-}
-
-// dispatch moves inputs, executes, and returns the result to the origin.
-// When fb is non-nil the measured latency is fed back to the policy.
-func (c *Continuum) dispatch(j StreamJob, n *node.Node, st *Stats, fb placement.FeedbackPolicy) {
-	exec := func() {
-		c.Tracer.Record(c.K.Now(), trace.TaskStart, n.Name, j.Task.Name)
-		n.Execute(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel, func() {
-			c.Tracer.Record(c.K.Now(), trace.TaskEnd, n.Name, j.Task.Name)
-			execTime := n.ExecTime(j.Task.ScalarWork, j.Task.TensorWork, j.Task.Accel)
-			st.Dollars += n.DollarCost(execTime)
-			if n.ID != j.Origin && n.EgressPerByte > 0 {
-				st.Dollars += n.EgressPerByte * j.Task.OutputBytes
-				st.EgressB += j.Task.OutputBytes
-			}
-			c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
-				st.Completed++
-				st.PerNode[n.Name]++
-				lat := c.K.Now() - j.Submit
-				st.Latency.Add(lat)
-				if fb != nil {
-					fb.Observe(n.ID, lat)
-				}
-				if c.K.Now() > st.Makespan {
-					st.Makespan = c.K.Now()
-				}
-			})
-		})
-	}
-
-	if c.Fabric != nil && len(j.Task.Inputs) > 0 {
-		pending := len(j.Task.Inputs)
-		for _, in := range j.Task.Inputs {
-			ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
-			c.Fabric.Stage(ds, n.ID, func(bool) {
-				pending--
-				if pending == 0 {
-					exec()
-				}
-			})
-		}
-		return
-	}
-	inBytes := 0.0
-	for _, in := range j.Task.Inputs {
-		inBytes += in.Bytes
-	}
-	c.Net.Message(j.Origin, n.ID, inBytes, exec)
+	return c.runStream(pol, jobs, candidates, ReliableOptions{}).Stats
 }
 
 // RunDAG executes a static schedule under the full contention model: a
@@ -120,94 +68,12 @@ func (c *Continuum) dispatch(j StreamJob, n *node.Node, st *Stats, fb placement.
 //
 // RunDAG owns the kernel: it runs the simulation to completion and errors
 // if any task never became runnable (which would indicate a malformed
-// schedule).
+// schedule). It is the zero-value-options configuration of the unified
+// engine; see RunDAGReliable for the fault-aware one.
 func (c *Continuum) RunDAG(d *task.DAG, sched placement.Schedule, env *placement.Env) (*Stats, error) {
-	if err := d.Validate(); err != nil {
+	st, err := c.runDAG(d, sched, env, ReliableOptions{})
+	if st == nil {
 		return nil, err
 	}
-	if len(sched.Assign) != d.N() {
-		return nil, fmt.Errorf("core: schedule covers %d of %d tasks", len(sched.Assign), d.N())
-	}
-	st := newStats()
-
-	// waiting[t] counts unsatisfied prerequisites: one per incoming edge.
-	waiting := make([]int, d.N())
-	for i := 0; i < d.N(); i++ {
-		waiting[i] = d.InDegree(task.ID(i))
-	}
-	started := make([]bool, d.N())
-
-	var tryStart func(id task.ID)
-	runTask := func(id task.ID) {
-		tk := d.Tasks[id]
-		n := env.Nodes[sched.Assign[id]]
-		start := func() {
-			c.Tracer.Record(c.K.Now(), trace.TaskStart, n.Name, tk.Name)
-			n.Execute(tk.ScalarWork, tk.TensorWork, tk.Accel, func() {
-				now := c.K.Now()
-				c.Tracer.Record(now, trace.TaskEnd, n.Name, tk.Name)
-				st.Completed++
-				st.PerNode[n.Name]++
-				st.Latency.Add(now)
-				if now > st.Makespan {
-					st.Makespan = now
-				}
-				execTime := n.ExecTime(tk.ScalarWork, tk.TensorWork, tk.Accel)
-				st.Dollars += n.DollarCost(execTime)
-				for _, e := range d.Successors(id) {
-					e := e
-					dst := env.Nodes[sched.Assign[e.To]]
-					if dst.ID == n.ID {
-						waiting[e.To]--
-						tryStart(e.To)
-						continue
-					}
-					if n.EgressPerByte > 0 {
-						st.Dollars += n.EgressPerByte * e.Bytes
-						st.EgressB += e.Bytes
-					}
-					c.Tracer.Record(now, trace.TransferStart, n.Name+"->"+dst.Name,
-						fmt.Sprintf("%.0fB", e.Bytes))
-					c.Net.Transfer(n.ID, dst.ID, e.Bytes, func(*netsim.Flow) {
-						c.Tracer.Record(c.K.Now(), trace.TransferEnd, n.Name+"->"+dst.Name, "")
-						waiting[e.To]--
-						tryStart(e.To)
-					})
-				}
-			})
-		}
-		if c.Fabric != nil && len(tk.Inputs) > 0 {
-			pending := len(tk.Inputs)
-			for _, in := range tk.Inputs {
-				ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
-				c.Fabric.Stage(ds, n.ID, func(bool) {
-					pending--
-					if pending == 0 {
-						start()
-					}
-				})
-			}
-			return
-		}
-		start()
-	}
-
-	tryStart = func(id task.ID) {
-		if started[id] || waiting[id] > 0 {
-			return
-		}
-		started[id] = true
-		runTask(id)
-	}
-
-	for _, r := range d.Roots() {
-		tryStart(r)
-	}
-	c.K.Run()
-	st.Joules = c.TotalJoules()
-
-	if st.Completed != int64(d.N()) {
-		return st, fmt.Errorf("core: only %d of %d tasks completed", st.Completed, d.N())
-	}
-	return st, nil
+	return st.Stats, err
 }

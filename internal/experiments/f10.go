@@ -17,6 +17,10 @@ import (
 // node fails with decreasing MTBF, and the makespan inflation over the
 // failure-free run is the figure. Completed tasks survive failures; only
 // in-flight work is lost — the checkpointing argument, quantified.
+//
+// The reliable runs here execute on the same core engine as F2's base
+// runs (fault-awareness is a hook, not a fork), so the makespan
+// inflation column isolates the cost of failures, not runner drift.
 func F10Workflow(size Size) *Result {
 	lanes, depth := 4, 5
 	mtbfs := []float64{1e9, 30, 10, 3}

@@ -17,6 +17,10 @@ import (
 // as MTBF approaches the task duration, retries erase the edge advantage
 // and the latency-optimal placement migrates inward — reliability is a
 // placement input, not an afterthought.
+//
+// The reliable runs here execute on the same core engine as T1's base
+// runs (fault-awareness is a hook, not a fork), so the latency columns
+// are directly comparable across the two experiments.
 func F7Reliability(size Size) *Result {
 	// MTBF sweep in seconds of gateway uptime; tasks take ~0.2s on a
 	// gateway core, so the last rows approach the task scale.

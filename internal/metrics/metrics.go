@@ -223,6 +223,24 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// Equal reports whether h and other recorded identical distributions:
+// same observation count, exact sum, extrema, and per-bucket counts.
+// Used by core's zero-fault equivalence property tests to compare runner
+// Stats field-for-field.
+func (h *Histogram) Equal(other *Histogram) bool {
+	if h.n != other.n || h.sum != other.sum || h.underflow != other.underflow ||
+		h.seen != other.seen || h.min != other.min || h.max != other.max ||
+		len(h.counts) != len(other.counts) {
+		return false
+	}
+	for b, c := range h.counts {
+		if c != other.counts[b] {
+			return false
+		}
+	}
+	return true
+}
+
 // Counter is a monotonically increasing count with a name.
 type Counter struct {
 	Name  string

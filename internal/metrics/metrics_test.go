@@ -321,3 +321,29 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("missing header: %q", csv)
 	}
 }
+
+func TestHistogramEqual(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	if !a.Equal(b) {
+		t.Fatal("empty histograms not equal")
+	}
+	for _, v := range []float64{0.01, 2.5, 1e-12, 40} {
+		a.Add(v)
+		b.Add(v)
+	}
+	if !a.Equal(b) {
+		t.Fatal("identical observation streams not equal")
+	}
+	b.Add(0.01)
+	if a.Equal(b) {
+		t.Fatal("different counts reported equal")
+	}
+	c, d := NewHistogram(), NewHistogram()
+	c.Add(1.0)
+	c.Add(3.0)
+	d.Add(2.0)
+	d.Add(2.0) // same count and sum, different extrema/buckets
+	if c.Equal(d) {
+		t.Fatal("different distributions reported equal")
+	}
+}

@@ -6,6 +6,7 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"continuum/internal/core"
 	"continuum/internal/metrics"
@@ -246,6 +247,10 @@ func dagGen(dj *DAGJSON, rng *workload.RNG) (*task.DAG, error) {
 }
 
 // Report is the outcome of a scenario run, renderable as a table.
+//
+// MeanLat/P99Lat summarize core.Stats.Latency, so their meaning follows
+// the workload kind: submit→reply seconds for stream scenarios, per-task
+// ready→finish seconds for DAG scenarios (see core.Stats).
 type Report struct {
 	Scenario  string
 	Workload  string
@@ -272,8 +277,13 @@ func (r *Report) Table() *metrics.Table {
 	t.AddRow("energy", fmt.Sprintf("%.1f J", r.Joules))
 	t.AddRow("cost", fmt.Sprintf("$%.6f", r.Dollars))
 	t.AddRow("egress", metrics.FormatBytes(r.EgressB))
-	for name, count := range r.PerNode {
-		t.AddRow("tasks@"+name, fmt.Sprintf("%d", count))
+	names := make([]string, 0, len(r.PerNode))
+	for name := range r.PerNode {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow("tasks@"+name, fmt.Sprintf("%d", r.PerNode[name]))
 	}
 	return t
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate — the canonical pre-merge check (see README).
+# Runs formatting, vet, build, and the full test suite under the race
+# detector. Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: all gates passed"
