@@ -6,6 +6,8 @@
 //	continuum-sim -f scenario.json        # run a scenario file
 //	continuum-sim -example                # print a documented sample scenario
 //	continuum-sim -example | continuum-sim -f -
+//	continuum-sim -f scenario.json -trace out.jsonl        # span log, one JSON event per line
+//	continuum-sim -f scenario.json -chrome-trace out.json  # open in Perfetto / chrome://tracing
 package main
 
 import (
@@ -23,6 +25,8 @@ func main() {
 	example := flag.Bool("example", false, "print a sample scenario and exit")
 	csv := flag.Bool("csv", false, "emit the report as CSV")
 	gantt := flag.Int("gantt", 0, "also print an ASCII busy-timeline of the given width")
+	traceOut := flag.String("trace", "", "write the event trace as JSONL to this file")
+	chromeOut := flag.String("chrome-trace", "", "write a Chrome trace-event JSON file (Perfetto-compatible)")
 	flag.Parse()
 
 	if *example {
@@ -67,6 +71,29 @@ func main() {
 		fmt.Println()
 		fmt.Print(tr.Gantt(*gantt))
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, tr.WriteJSONL); err != nil {
+			fatal(err)
+		}
+	}
+	if *chromeOut != "" {
+		if err := writeFile(*chromeOut, tr.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFile streams one of the tracer's export formats into path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

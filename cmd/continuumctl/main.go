@@ -9,6 +9,7 @@
 //	continuumctl -addr 127.0.0.1:9090 invoke echo 'hello'
 //	continuumctl -addr 127.0.0.1:9090 invoke matmul '{"n":64}'
 //	continuumctl -addr 127.0.0.1:9090 bench echo -n 1000 -c 8
+//	continuumctl -addr 127.0.0.1:9090 top -i 2s
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"continuum/internal/metrics"
 	"continuum/internal/wire"
 )
 
@@ -77,6 +79,15 @@ func main() {
 		}
 		fmt.Println(string(out))
 
+	case "top":
+		topFlags := flag.NewFlagSet("top", flag.ExitOnError)
+		interval := topFlags.Duration("i", 2*time.Second, "refresh interval")
+		iters := topFlags.Int("n", 0, "number of refreshes (0 = forever)")
+		if err := topFlags.Parse(args[1:]); err != nil {
+			fatal(err)
+		}
+		runTop(c, *interval, *iters)
+
 	case "bench":
 		if len(args) < 2 {
 			usage()
@@ -92,6 +103,32 @@ func main() {
 
 	default:
 		usage()
+	}
+}
+
+// runTop polls the server's live per-function metrics and renders them as
+// a table, refreshing until interrupted (or iters refreshes with -n).
+func runTop(c *wire.Client, interval time.Duration, iters int) {
+	for i := 0; iters == 0 || i < iters; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		rows, err := c.Top()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s  (%d functions)\n", time.Now().Format("15:04:05"), len(rows))
+		fmt.Printf("%-20s %-12s %8s %10s %10s %10s %6s %6s\n",
+			"ENDPOINT", "FUNCTION", "CALLS", "P50", "P90", "P99", "COLD", "WARM")
+		for _, r := range rows {
+			fmt.Printf("%-20s %-12s %8d %10s %10s %10s %6d %6d\n",
+				r.Endpoint, r.Fn, r.Count,
+				metrics.FormatDuration(r.P50),
+				metrics.FormatDuration(r.P90),
+				metrics.FormatDuration(r.P99),
+				r.ColdStarts, r.WarmHits)
+		}
+		fmt.Println()
 	}
 }
 
@@ -155,6 +192,7 @@ commands:
   list                      registered functions
   stats                     endpoint counters
   invoke <fn> [payload]     call a function
+  top [-i interval] [-n refreshes]        live per-function latency table
   bench <fn> [-n N] [-c C] [-p payload]   load test`)
 	os.Exit(2)
 }

@@ -7,18 +7,26 @@
 // Usage:
 //
 //	continuumd -listen 127.0.0.1:9090 -capacity 8 -cold 2ms
+//	continuumd -listen 127.0.0.1:9090 -metrics-addr 127.0.0.1:9091
+//
+// With -metrics-addr the daemon serves Prometheus text exposition on
+// /metrics (per-function latency histograms, cold/warm splits, in-flight
+// gauges, per-op wire counters) and a liveness probe on /healthz.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"continuum/internal/faas"
+	"continuum/internal/metrics"
 	"continuum/internal/wire"
 )
 
@@ -102,6 +110,8 @@ func main() {
 	capacity := flag.Int("capacity", 8, "max concurrent containers")
 	cold := flag.Duration("cold", 2*time.Millisecond, "cold-start provisioning delay")
 	warmTTL := flag.Duration("warm-ttl", time.Minute, "idle warm-container lifetime")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
+	verbose := flag.Bool("verbose", false, "log one structured line per request")
 	flag.Parse()
 
 	if *name == "" {
@@ -121,6 +131,15 @@ func main() {
 		Registry:  reg,
 		Endpoints: []*faas.Endpoint{ep},
 	}
+	if *verbose {
+		srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	if *metricsAddr != "" {
+		m := metrics.NewRegistry()
+		ep.SetMetrics(m)
+		srv.Metrics = m
+		go serveMetrics(*metricsAddr, m)
+	}
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "continuumd:", err)
@@ -131,5 +150,24 @@ func main() {
 	if err := srv.Serve(lis); err != nil {
 		fmt.Fprintln(os.Stderr, "continuumd:", err)
 		os.Exit(1)
+	}
+}
+
+// serveMetrics exposes the shared registry in Prometheus text format plus
+// a trivial liveness probe. Scrapes read a consistent snapshot; they never
+// block the invoke path beyond the registry's per-metric locks.
+func serveMetrics(addr string, m *metrics.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Printf("continuumd: metrics on http://%s/metrics\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "continuumd: metrics server:", err)
 	}
 }

@@ -50,6 +50,11 @@ type unit struct {
 	task *task.Task
 	node *node.Node
 
+	// attempt numbers this try: 0 for the first dispatch, incremented on
+	// every retry. It rides on every trace event the unit emits so
+	// exported timelines attribute spans to the retry that produced them.
+	attempt int
+
 	// origin, when >= 0, is the vertex inputs are shipped from when no
 	// fabric serves them (stream semantics). DAG tasks pass -1: their
 	// inputs arrive via fabric staging or predecessor edge transfers.
@@ -69,23 +74,30 @@ type unit struct {
 // execution: the epoch is sampled at dispatch, re-checked after input
 // staging and after execution, and any advance routes to u.lost with a
 // Failure trace record. With zero-value options both checks are no-ops.
+//
+// Trace spans: a Dispatch instant marks the attempt entering the
+// pipeline, StageStart/StageEnd bracket input staging when data actually
+// moves, and TaskStart/TaskEnd bracket execution — all carrying the
+// attempt number. Every record is nil-safe, so a continuum without a
+// tracer pays only the dead branch inside Tracer.RecordAttempt.
 func (e *engine) run(u unit) {
 	epoch0 := e.opts.epoch(u.node)
+	e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Dispatch, u.node.Name, u.task.Name, u.attempt)
 	e.stage(u, func() {
 		if e.opts.epoch(u.node) != epoch0 {
-			e.c.Tracer.Record(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" inputs lost")
+			e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" inputs lost", u.attempt)
 			u.lost()
 			return
 		}
-		e.c.Tracer.Record(e.c.K.Now(), trace.TaskStart, u.node.Name, u.task.Name)
+		e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.TaskStart, u.node.Name, u.task.Name, u.attempt)
 		u.node.Execute(u.task.ScalarWork, u.task.TensorWork, u.task.Accel, func() {
 			now := e.c.K.Now()
 			if e.opts.epoch(u.node) != epoch0 {
-				e.c.Tracer.Record(now, trace.Failure, u.node.Name, u.task.Name+" lost")
+				e.c.Tracer.RecordAttempt(now, trace.Failure, u.node.Name, u.task.Name+" lost", u.attempt)
 				u.lost()
 				return
 			}
-			e.c.Tracer.Record(now, trace.TaskEnd, u.node.Name, u.task.Name)
+			e.c.Tracer.RecordAttempt(now, trace.TaskEnd, u.node.Name, u.task.Name, u.attempt)
 			execTime := u.node.ExecTime(u.task.ScalarWork, u.task.TensorWork, u.task.Accel)
 			e.st.Dollars += u.node.DollarCost(execTime)
 			u.deliver(now)
@@ -101,12 +113,14 @@ func (e *engine) run(u unit) {
 // (predecessor edges move intermediate data explicitly).
 func (e *engine) stage(u unit, next func()) {
 	if e.c.Fabric != nil && len(u.task.Inputs) > 0 {
+		e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.StageStart, u.node.Name, u.task.Name, u.attempt)
 		pending := len(u.task.Inputs)
 		for _, in := range u.task.Inputs {
 			ds := data.Dataset{Name: in.Name, Bytes: in.Bytes}
 			e.c.Fabric.Stage(ds, u.node.ID, func(bool) {
 				pending--
 				if pending == 0 {
+					e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.StageEnd, u.node.Name, u.task.Name, u.attempt)
 					next()
 				}
 			})
@@ -118,7 +132,18 @@ func (e *engine) stage(u unit, next func()) {
 		for _, in := range u.task.Inputs {
 			inBytes += in.Bytes
 		}
-		e.c.Net.Message(u.origin, u.node.ID, inBytes, next)
+		// Only wrap the completion callback when a tracer exists: the
+		// extra closure would otherwise cost an allocation per job on the
+		// untraced hot path BenchmarkEngineOverhead guards.
+		cb := next
+		if e.c.Tracer != nil {
+			e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.StageStart, u.node.Name, u.task.Name, u.attempt)
+			cb = func() {
+				e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.StageEnd, u.node.Name, u.task.Name, u.attempt)
+				next()
+			}
+		}
+		e.c.Net.Message(u.origin, u.node.ID, inBytes, cb)
 		return
 	}
 	next()
@@ -202,9 +227,10 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 		}
 		n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
 		e.run(unit{
-			task:   j.Task,
-			node:   n,
-			origin: j.Origin,
+			task:    j.Task,
+			node:    n,
+			attempt: e.opts.MaxRetries - retriesLeft,
+			origin:  j.Origin,
 			deliver: func(float64) {
 				e.egress(n, j.Origin, j.Task.OutputBytes)
 				c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
@@ -273,9 +299,10 @@ func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement
 			return
 		}
 		e.run(unit{
-			task:   tk,
-			node:   n,
-			origin: -1,
+			task:    tk,
+			node:    n,
+			attempt: e.opts.MaxRetries - retriesLeft,
+			origin:  -1,
 			deliver: func(execEnd float64) {
 				e.complete(n, readyAt[id])
 				for _, edge := range d.Successors(id) {

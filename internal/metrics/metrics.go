@@ -1,18 +1,23 @@
 // Package metrics provides the measurement plumbing used by every
-// experiment: streaming summaries (Welford), log-bucketed latency
-// histograms with percentile queries, counters, time series, and plain-text
-// table rendering for the benchmark harness output.
+// experiment and by the live serving path: streaming summaries (Welford),
+// log-bucketed latency histograms with percentile queries, counters,
+// gauges, time series, plain-text table rendering for the benchmark
+// harness output, and Prometheus text-format exposition (see
+// prometheus.go). All metric types and the Registry are safe for
+// concurrent use.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Summary accumulates count/mean/variance/min/max in O(1) space using
-// Welford's online algorithm. The zero value is ready to use.
-type Summary struct {
+// summaryData is the lock-free core of a Summary, shared between Add and
+// Merge (which must combine two instances without holding both locks).
+type summaryData struct {
 	n         int64
 	mean, m2  float64
 	min, max  float64
@@ -20,79 +25,112 @@ type Summary struct {
 	total     float64
 }
 
+func (d *summaryData) add(x float64) {
+	d.n++
+	d.total += x
+	dx := x - d.mean
+	d.mean += dx / float64(d.n)
+	d.m2 += dx * (x - d.mean)
+	if !d.everySeen || x < d.min {
+		d.min = x
+	}
+	if !d.everySeen || x > d.max {
+		d.max = x
+	}
+	d.everySeen = true
+}
+
+// merge folds other into d (Chan et al. parallel variance combination).
+func (d *summaryData) merge(other summaryData) {
+	if other.n == 0 {
+		return
+	}
+	if d.n == 0 {
+		*d = other
+		return
+	}
+	n1, n2 := float64(d.n), float64(other.n)
+	dd := other.mean - d.mean
+	tot := n1 + n2
+	d.m2 += other.m2 + dd*dd*n1*n2/tot
+	d.mean += dd * n2 / tot
+	d.n += other.n
+	d.total += other.total
+	if other.min < d.min {
+		d.min = other.min
+	}
+	if other.max > d.max {
+		d.max = other.max
+	}
+}
+
+// Summary accumulates count/mean/variance/min/max in O(1) space using
+// Welford's online algorithm. The zero value is ready to use, and all
+// methods are safe for concurrent use.
+type Summary struct {
+	mu sync.Mutex
+	d  summaryData
+}
+
 // Add records one observation.
 func (s *Summary) Add(x float64) {
-	s.n++
-	s.total += x
-	d := x - s.mean
-	s.mean += d / float64(s.n)
-	s.m2 += d * (x - s.mean)
-	if !s.everySeen || x < s.min {
-		s.min = x
-	}
-	if !s.everySeen || x > s.max {
-		s.max = x
-	}
-	s.everySeen = true
+	s.mu.Lock()
+	s.d.add(x)
+	s.mu.Unlock()
+}
+
+func (s *Summary) snapshot() summaryData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
 }
 
 // Count returns the number of observations.
-func (s *Summary) Count() int64 { return s.n }
+func (s *Summary) Count() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.d.n }
 
 // Sum returns the total of all observations.
-func (s *Summary) Sum() float64 { return s.total }
+func (s *Summary) Sum() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.d.total }
 
 // Mean returns the arithmetic mean, or 0 if empty.
-func (s *Summary) Mean() float64 { return s.mean }
+func (s *Summary) Mean() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.d.mean }
 
 // Var returns the population variance, or 0 if fewer than 2 observations.
 func (s *Summary) Var() float64 {
-	if s.n < 2 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.d.n < 2 {
 		return 0
 	}
-	return s.m2 / float64(s.n)
+	return s.d.m2 / float64(s.d.n)
 }
 
 // Std returns the population standard deviation.
 func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
 
 // Min returns the smallest observation, or 0 if empty.
-func (s *Summary) Min() float64 { return s.min }
+func (s *Summary) Min() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.d.min }
 
 // Max returns the largest observation, or 0 if empty.
-func (s *Summary) Max() float64 { return s.max }
+func (s *Summary) Max() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.d.max }
 
 // Merge folds other into s, as if every observation of other had been
-// Added to s (Chan et al. parallel variance combination).
+// Added to s. Other is snapshotted first, so s.Merge(s) and concurrent
+// merges in both directions are safe (no double-lock).
 func (s *Summary) Merge(other *Summary) {
-	if other.n == 0 {
-		return
-	}
-	if s.n == 0 {
-		*s = *other
-		return
-	}
-	n1, n2 := float64(s.n), float64(other.n)
-	d := other.mean - s.mean
-	tot := n1 + n2
-	s.m2 += other.m2 + d*d*n1*n2/tot
-	s.mean += d * n2 / tot
-	s.n += other.n
-	s.total += other.total
-	if other.min < s.min {
-		s.min = other.min
-	}
-	if other.max > s.max {
-		s.max = other.max
-	}
+	od := other.snapshot()
+	s.mu.Lock()
+	s.d.merge(od)
+	s.mu.Unlock()
 }
 
 // Histogram is a log-bucketed histogram for positive values spanning many
 // orders of magnitude (latencies from ns to hours). Relative bucket error
 // is bounded by the growth factor (~4.6% with 64 buckets per decade... we
 // use a fixed 1.07 growth giving <7% relative error). Zero and negative
-// values land in a dedicated underflow bucket.
+// values land in a dedicated underflow bucket. All methods are safe for
+// concurrent use.
 type Histogram struct {
+	mu        sync.Mutex
 	counts    []int64
 	underflow int64
 	n         int64
@@ -131,6 +169,11 @@ func bucketUpper(b int) float64 {
 
 // Add records one observation.
 func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
 	h.n++
 	h.sum += v
 	if !h.seen || v < h.min {
@@ -148,26 +191,37 @@ func (h *Histogram) Add(v float64) {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.n }
+func (h *Histogram) Count() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.n }
 
 // Mean returns the exact mean (tracked outside the buckets).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.n == 0 {
 		return 0
 	}
 	return h.sum / float64(h.n)
 }
 
+// Sum returns the exact total of all observations.
+func (h *Histogram) Sum() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.sum }
+
 // Min returns the smallest observation, or 0 if empty.
-func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Min() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.min }
 
 // Max returns the largest observation, or 0 if empty.
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Max() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.max }
 
 // Quantile returns an estimate of the q-quantile (0 <= q <= 1) with
 // relative error bounded by the bucket growth factor. Empty histograms
 // return 0.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}
@@ -204,20 +258,50 @@ func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
 // P99 returns the 99th percentile estimate.
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
-// Merge folds other into h.
+// histSnapshot is a point-in-time copy of a histogram's state, used by
+// Merge/Equal (to combine two instances without holding both locks) and
+// by the Prometheus exposition.
+type histSnapshot struct {
+	counts    []int64
+	underflow int64
+	n         int64
+	sum       float64
+	min, max  float64
+	seen      bool
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return histSnapshot{
+		counts: counts, underflow: h.underflow, n: h.n,
+		sum: h.sum, min: h.min, max: h.max, seen: h.seen,
+	}
+}
+
+// Merge folds other into h. Other is snapshotted first, so concurrent
+// merges in both directions are safe.
 func (h *Histogram) Merge(other *Histogram) {
-	for b, c := range other.counts {
+	o := other.snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	for b, c := range o.counts {
 		h.counts[b] += c
 	}
-	h.underflow += other.underflow
-	h.n += other.n
-	h.sum += other.sum
-	if other.seen {
-		if !h.seen || other.min < h.min {
-			h.min = other.min
+	h.underflow += o.underflow
+	h.n += o.n
+	h.sum += o.sum
+	if o.seen {
+		if !h.seen || o.min < h.min {
+			h.min = o.min
 		}
-		if !h.seen || other.max > h.max {
-			h.max = other.max
+		if !h.seen || o.max > h.max {
+			h.max = o.max
 		}
 		h.seen = true
 	}
@@ -228,35 +312,67 @@ func (h *Histogram) Merge(other *Histogram) {
 // Used by core's zero-fault equivalence property tests to compare runner
 // Stats field-for-field.
 func (h *Histogram) Equal(other *Histogram) bool {
-	if h.n != other.n || h.sum != other.sum || h.underflow != other.underflow ||
-		h.seen != other.seen || h.min != other.min || h.max != other.max ||
-		len(h.counts) != len(other.counts) {
+	o := other.snapshot()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n != o.n || h.sum != o.sum || h.underflow != o.underflow ||
+		h.seen != o.seen || h.min != o.min || h.max != o.max ||
+		len(h.counts) != len(o.counts) {
 		return false
 	}
 	for b, c := range h.counts {
-		if c != other.counts[b] {
+		if c != o.counts[b] {
 			return false
 		}
 	}
 	return true
 }
 
-// Counter is a monotonically increasing count with a name.
+// Counter is a monotonically increasing count with a name. The zero value
+// is ready to use; all methods are safe for concurrent use.
 type Counter struct {
-	Name  string
-	Value int64
+	Name string
+	v    atomic.Int64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.Value++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n; negative n panics (counters only go up).
 func (c *Counter) Add(n int64) {
 	if n < 0 {
 		panic("metrics: negative Counter.Add")
 	}
-	c.Value += n
+	c.v.Add(n)
 }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depth). The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Gauge struct {
+	Name string
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Series is an append-only (x, y) sequence, used for figure output.
 type Series struct {
@@ -273,67 +389,164 @@ func (s *Series) Append(x, y float64) {
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.X) }
 
-// Registry is a named collection of summaries, histograms and counters,
-// shared by one simulation run.
+// Registry is a named collection of summaries, histograms, counters and
+// gauges, shared by one simulation run or one serving process. It is safe
+// for concurrent use; the accessor methods create on first reference, so
+// hammering the same name from many goroutines always yields one shared
+// metric.
 type Registry struct {
-	Summaries  map[string]*Summary
-	Histograms map[string]*Histogram
-	Counters   map[string]*Counter
+	mu         sync.Mutex
+	summaries  map[string]*Summary
+	histograms map[string]*Histogram
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		Summaries:  make(map[string]*Summary),
-		Histograms: make(map[string]*Histogram),
-		Counters:   make(map[string]*Counter),
+		summaries:  make(map[string]*Summary),
+		histograms: make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 	}
 }
 
 // Summary returns (creating if needed) the named summary.
 func (r *Registry) Summary(name string) *Summary {
-	s, ok := r.Summaries[name]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.summaries[name]
 	if !ok {
 		s = &Summary{}
-		r.Summaries[name] = s
+		r.summaries[name] = s
 	}
 	return s
 }
 
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
-	h, ok := r.Histograms[name]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
 	if !ok {
 		h = NewHistogram()
-		r.Histograms[name] = h
+		r.histograms[name] = h
 	}
 	return h
 }
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
-	c, ok := r.Counters[name]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{Name: name}
-		r.Counters[name] = c
+		r.counters[name] = c
 	}
 	return c
 }
 
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{Name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Names returns all registered metric names, sorted, for stable output.
 func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var names []string
-	for n := range r.Summaries {
+	for n := range r.summaries {
 		names = append(names, n)
 	}
-	for n := range r.Histograms {
+	for n := range r.histograms {
 		names = append(names, n)
 	}
-	for n := range r.Counters {
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EachHistogram calls f for every registered histogram in name order. f
+// must not call back into r (the registry lock is not held, but metric
+// handles are shared live objects).
+func (r *Registry) EachHistogram(f func(name string, h *Histogram)) {
+	r.mu.Lock()
+	names := sortedKeys(r.histograms)
+	hs := make([]*Histogram, len(names))
+	for i, n := range names {
+		hs[i] = r.histograms[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, hs[i])
+	}
+}
+
+// EachCounter calls f for every registered counter in name order.
+func (r *Registry) EachCounter(f func(name string, c *Counter)) {
+	r.mu.Lock()
+	names := sortedKeys(r.counters)
+	cs := make([]*Counter, len(names))
+	for i, n := range names {
+		cs[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, cs[i])
+	}
+}
+
+// EachGauge calls f for every registered gauge in name order.
+func (r *Registry) EachGauge(f func(name string, g *Gauge)) {
+	r.mu.Lock()
+	names := sortedKeys(r.gauges)
+	gs := make([]*Gauge, len(names))
+	for i, n := range names {
+		gs[i] = r.gauges[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, gs[i])
+	}
+}
+
+// EachSummary calls f for every registered summary in name order.
+func (r *Registry) EachSummary(f func(name string, s *Summary)) {
+	r.mu.Lock()
+	names := sortedKeys(r.summaries)
+	ss := make([]*Summary, len(names))
+	for i, n := range names {
+		ss[i] = r.summaries[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, ss[i])
+	}
 }
 
 // FormatDuration renders a duration in seconds with an adaptive unit,

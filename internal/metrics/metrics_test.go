@@ -201,8 +201,8 @@ func TestCounter(t *testing.T) {
 	var c Counter
 	c.Inc()
 	c.Add(4)
-	if c.Value != 5 {
-		t.Fatalf("Value = %d, want 5", c.Value)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
 	}
 	defer func() {
 		if recover() == nil {
@@ -210,6 +210,19 @@ func TestCounter(t *testing.T) {
 		}
 	}()
 	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v", g.Value())
+	}
+	g.Set(3.5)
+	g.Add(1.5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %v, want 3", g.Value())
+	}
 }
 
 func TestRegistry(t *testing.T) {
@@ -221,8 +234,9 @@ func TestRegistry(t *testing.T) {
 	}
 	r.Counter("done").Inc()
 	r.Histogram("h").Add(0.1)
+	r.Gauge("inflight").Set(2)
 	names := r.Names()
-	if len(names) != 3 {
+	if len(names) != 4 {
 		t.Fatalf("Names = %v", names)
 	}
 	for i := 1; i < len(names); i++ {

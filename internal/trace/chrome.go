@@ -1,0 +1,145 @@
+// Chrome trace-event JSON export: renders a Tracer as the JSON object
+// format that chrome://tracing and Perfetto open directly. Entities map
+// to threads of one synthetic process; matched Start/End kinds become
+// complete ("X") slices with microsecond timestamps; everything else
+// (dispatch, failures, scaling) becomes thread-scoped instant events.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// Trace Event Format spec (ph "X" = complete slice, "i" = instant,
+// "M" = metadata); ts/dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// spanPairs maps each span-opening kind to its closing kind; all other
+// kinds export as instants.
+var spanPairs = map[Kind]Kind{
+	TaskStart:     TaskEnd,
+	TransferStart: TransferEnd,
+	StageStart:    StageEnd,
+}
+
+// chromePid is the single synthetic process all entities live under.
+const chromePid = 1
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans are
+// paired per entity and opening kind (LIFO, so nested/retried spans on
+// one entity close innermost-first); unmatched opens extend to the trace
+// end, mirroring busyIntervals. Attempt numbers and details ride along in
+// args, so retry attribution survives into the viewer.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	_, end := t.Span()
+
+	ents := t.Entities()
+	tid := make(map[string]int, len(ents))
+	out := make([]chromeEvent, 0, len(t.events)+len(ents))
+	for i, e := range ents {
+		tid[e] = i + 1
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: chromePid, Tid: i + 1,
+			Args: map[string]any{"name": e},
+		})
+	}
+
+	closers := make(map[Kind]Kind, len(spanPairs))
+	for open, close := range spanPairs {
+		closers[close] = open
+	}
+
+	// open[entity][openKind] is a LIFO stack of pending span opens.
+	type openSpan struct{ ev Event }
+	open := map[string]map[Kind][]openSpan{}
+	push := func(e Event) {
+		m := open[e.Entity]
+		if m == nil {
+			m = map[Kind][]openSpan{}
+			open[e.Entity] = m
+		}
+		m[e.Kind] = append(m[e.Kind], openSpan{ev: e})
+	}
+	pop := func(entity string, openKind Kind) (openSpan, bool) {
+		stack := open[entity][openKind]
+		if len(stack) == 0 {
+			return openSpan{}, false
+		}
+		s := stack[len(stack)-1]
+		open[entity][openKind] = stack[:len(stack)-1]
+		return s, true
+	}
+
+	slice := func(start Event, endTime float64) chromeEvent {
+		name := start.Detail
+		if name == "" {
+			name = string(start.Kind)
+		}
+		dur := (endTime - start.Time) * 1e6
+		if dur < 0 {
+			dur = 0
+		}
+		ev := chromeEvent{
+			Name: name, Phase: "X", Ts: start.Time * 1e6, Dur: &dur,
+			Pid: chromePid, Tid: tid[start.Entity], Cat: string(start.Kind),
+			Args: map[string]any{"attempt": start.Attempt},
+		}
+		return ev
+	}
+
+	for _, e := range t.events {
+		if _, isOpen := spanPairs[e.Kind]; isOpen {
+			push(e)
+			continue
+		}
+		if openKind, isClose := closers[e.Kind]; isClose {
+			if s, ok := pop(e.Entity, openKind); ok {
+				out = append(out, slice(s.ev, e.Time))
+				continue
+			}
+			// A close without an open (trace truncation): fall through and
+			// keep it visible as an instant rather than dropping it.
+		}
+		args := map[string]any{"attempt": e.Attempt}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		out = append(out, chromeEvent{
+			Name: string(e.Kind), Phase: "i", Ts: e.Time * 1e6,
+			Pid: chromePid, Tid: tid[e.Entity], Scope: "t", Args: args,
+		})
+	}
+
+	// Unmatched opens: the run was cut off; close them at the trace end.
+	// Deterministic iteration (sorted entities, fixed kind order) keeps
+	// the export byte-stable for identical traces.
+	for _, ent := range ents {
+		for _, k := range []Kind{TaskStart, TransferStart, StageStart} {
+			for _, s := range open[ent][k] {
+				out = append(out, slice(s.ev, end))
+			}
+		}
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: chrome export: %w", err)
+	}
+	return nil
+}

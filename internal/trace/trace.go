@@ -25,18 +25,24 @@ const (
 	TaskEnd       Kind = "task-end"
 	TransferStart Kind = "xfer-start"
 	TransferEnd   Kind = "xfer-end"
+	StageStart    Kind = "stage-start"
+	StageEnd      Kind = "stage-end"
+	Dispatch      Kind = "dispatch"
 	ScaleUp       Kind = "scale-up"
 	ScaleDown     Kind = "scale-down"
 	Failure       Kind = "failure"
 	Repair        Kind = "repair"
 )
 
-// Event is one timestamped record.
+// Event is one timestamped record. Matched Start/End kinds form spans;
+// Attempt carries retry attribution (0 = first attempt) so a retried
+// task's spans are distinguishable in exported timelines.
 type Event struct {
-	Time   float64 `json:"t"`
-	Kind   Kind    `json:"kind"`
-	Entity string  `json:"entity"` // node/link/pool name
-	Detail string  `json:"detail,omitempty"`
+	Time    float64 `json:"t"`
+	Kind    Kind    `json:"kind"`
+	Entity  string  `json:"entity"` // node/link/pool name
+	Detail  string  `json:"detail,omitempty"`
+	Attempt int     `json:"attempt,omitempty"`
 }
 
 // Tracer accumulates events up to a bound (0 = unbounded). Overflow drops
@@ -56,8 +62,15 @@ func New(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
-// Record appends an event.
+// Record appends an event on attempt 0.
 func (t *Tracer) Record(time float64, kind Kind, entity, detail string) {
+	t.RecordAttempt(time, kind, entity, detail, 0)
+}
+
+// RecordAttempt appends an event carrying retry attribution: attempt 0 is
+// the first try, each re-dispatch increments it. Nil tracers discard
+// everything at zero cost.
+func (t *Tracer) RecordAttempt(time float64, kind Kind, entity, detail string, attempt int) {
 	if t == nil {
 		return
 	}
@@ -65,7 +78,7 @@ func (t *Tracer) Record(time float64, kind Kind, entity, detail string) {
 		t.Dropped++
 		return
 	}
-	t.events = append(t.events, Event{Time: time, Kind: kind, Entity: entity, Detail: detail})
+	t.events = append(t.events, Event{Time: time, Kind: kind, Entity: entity, Detail: detail, Attempt: attempt})
 }
 
 // Len returns the number of retained events.
@@ -206,8 +219,16 @@ func (t *Tracer) Gantt(width int) string {
 		}
 		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, ent, lane)
 	}
-	fmt.Fprintf(&b, "%-*s  %s%*s\n", nameW, "", fmt.Sprintf("%.2fs", lo),
-		width-len(fmt.Sprintf("%.2fs", lo)), fmt.Sprintf("%.2fs", hi))
+	// Time axis: lo left-aligned under the first lane column, hi
+	// right-aligned under the last. When the width is too narrow to fit
+	// both labels the pad clamps to a single space instead of going
+	// negative (which used to left-shift hi and misalign the axis).
+	loS, hiS := fmt.Sprintf("%.2fs", lo), fmt.Sprintf("%.2fs", hi)
+	pad := width - len(loS) - len(hiS)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%-*s  %s%s%s\n", nameW, "", loS, strings.Repeat(" ", pad), hiS)
 	return b.String()
 }
 

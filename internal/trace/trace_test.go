@@ -159,3 +159,83 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestReadJSONLMalformedMidStream(t *testing.T) {
+	// A valid line followed by a malformed one must error, not silently
+	// truncate: partial traces would skew utilization analysis.
+	var buf bytes.Buffer
+	tr := New(0)
+	tr.Record(1, TaskStart, "n", "a")
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"t": "not-a-number"}` + "\n")
+	if _, err := ReadJSONL(&buf); err == nil {
+		t.Fatal("malformed mid-stream line accepted")
+	}
+}
+
+func TestJSONLAttemptRoundTrip(t *testing.T) {
+	tr := New(0)
+	tr.RecordAttempt(0, TaskStart, "gw", "j", 0)
+	tr.RecordAttempt(1, Failure, "gw", "j lost", 0)
+	tr.RecordAttempt(2, TaskStart, "gw", "j", 1)
+	tr.RecordAttempt(3, TaskEnd, "gw", "j", 1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Attempt 0 must be omitted from the wire form (old readers keep
+	// working); non-zero attempts must survive the round trip.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if strings.Contains(lines[0], "attempt") {
+		t.Fatalf("attempt 0 serialized: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"attempt":1`) {
+		t.Fatalf("attempt 1 lost: %s", lines[2])
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range back.Events() {
+		if e != tr.Events()[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, e, tr.Events()[i])
+		}
+	}
+}
+
+// TestGanttGoldenNarrow pins the exact rendering of a small fixed trace
+// at a width too narrow to fit both axis labels — the regression case
+// where the footer pad went negative and left-shifted the end label.
+func TestGanttGoldenNarrow(t *testing.T) {
+	tr := New(0)
+	tr.Record(0, TaskStart, "gw", "a")
+	tr.Record(8, TaskEnd, "gw", "a")
+	got := tr.Gantt(4)
+	want := "" +
+		"gw |####|\n" +
+		"    0.00s 8.00s\n"
+	if got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	// Wide enough to fit both labels: hi right-aligns to the lane edge.
+	got = tr.Gantt(16)
+	want = "" +
+		"gw |################|\n" +
+		"    0.00s      8.00s\n"
+	if got != want {
+		t.Fatalf("golden mismatch (wide):\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	// At any width the axis keeps both labels, in order, separated by at
+	// least one space (the old negative pad glued or reordered them).
+	for _, w := range []int{1, 2, 3, 5, 9, 12} {
+		lines := strings.Split(strings.TrimRight(tr.Gantt(w), "\n"), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("width %d: %d lines", w, len(lines))
+		}
+		if !strings.Contains(lines[1], "0.00s ") || !strings.HasSuffix(lines[1], "8.00s") {
+			t.Fatalf("width %d: malformed axis %q", w, lines[1])
+		}
+	}
+}

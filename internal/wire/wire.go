@@ -4,18 +4,33 @@
 // functions across them. Frames are capped to guard against runaway
 // peers; connections handle requests sequentially while the server
 // accepts connections concurrently.
+//
+// Observability: clients stamp every request with a generated ID which
+// the server echoes on the response (old peers that omit or drop the
+// field interoperate unchanged — it is a plain optional JSON field).
+// A server given a metrics registry counts requests, errors, and frame
+// bytes by op; given a logger it emits one structured line per request
+// carrying the request ID, so a slow or failing invocation can be
+// correlated across client and server logs.
 package wire
 
 import (
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"continuum/internal/faas"
+	"continuum/internal/metrics"
 )
 
 // MaxFrame bounds a single frame (16 MiB) so a corrupt length prefix
@@ -34,12 +49,16 @@ const (
 	OpBatch  Op = "batch"
 	OpList   Op = "list"
 	OpStats  Op = "stats"
+	OpTop    Op = "top"
 	OpPing   Op = "ping"
 )
 
-// Request is a client frame.
+// Request is a client frame. ID, when set, is echoed verbatim on the
+// response; peers predating the field simply never see it (optional JSON
+// both ways), so mixed-version federations keep working.
 type Request struct {
 	Op      Op       `json:"op"`
+	ID      string   `json:"id,omitempty"`
 	Fn      string   `json:"fn,omitempty"`
 	Payload []byte   `json:"payload,omitempty"`
 	Batch   [][]byte `json:"batch,omitempty"`
@@ -55,14 +74,30 @@ type EndpointStats struct {
 	WarmHits    int64  `json:"warm_hits"`
 }
 
-// Response is a server frame.
+// FnMetrics is one function's live latency profile on one endpoint, the
+// unit of the top op (continuumctl top renders a table of these).
+// Latencies are seconds.
+type FnMetrics struct {
+	Endpoint   string  `json:"ep"`
+	Fn         string  `json:"fn"`
+	Count      int64   `json:"count"`
+	P50        float64 `json:"p50"`
+	P90        float64 `json:"p90"`
+	P99        float64 `json:"p99"`
+	ColdStarts int64   `json:"cold_starts"`
+	WarmHits   int64   `json:"warm_hits"`
+}
+
+// Response is a server frame. ID echoes the request's ID.
 type Response struct {
 	OK      bool            `json:"ok"`
+	ID      string          `json:"id,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Payload []byte          `json:"payload,omitempty"`
 	Batch   [][]byte        `json:"batch,omitempty"`
 	Names   []string        `json:"names,omitempty"`
 	Stats   []EndpointStats `json:"stats,omitempty"`
+	Top     []FnMetrics     `json:"top,omitempty"`
 }
 
 // WriteFrame writes v as a 4-byte big-endian length followed by JSON.
@@ -112,10 +147,40 @@ type Server struct {
 	Registry  *faas.Registry
 	Endpoints []*faas.Endpoint
 
+	// Metrics, when set, receives per-op counters (wire_requests_total,
+	// wire_errors_total, wire_request_bytes_total,
+	// wire_response_bytes_total, all labeled {op}) and powers the top op.
+	// Share it with the endpoints' SetMetrics so one /metrics exposition
+	// covers the whole daemon.
+	Metrics *metrics.Registry
+	// Logger, when set, emits one structured line per request with the
+	// request ID, op, function, outcome, and wall-clock duration.
+	Logger *slog.Logger
+
 	mu     sync.Mutex
 	lis    net.Listener
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// countConn wraps a connection and tallies bytes in each direction so
+// per-request frame sizes can be attributed without changing the frame
+// codec. Only the connection-handling goroutine touches the totals.
+type countConn struct {
+	net.Conn
+	read, written int64
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
 }
 
 // Serve accepts connections until the listener closes. It returns nil
@@ -157,17 +222,82 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	cc := &countConn{Conn: conn}
+	defer cc.Close()
 	for {
+		r0 := cc.read
 		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
+		if err := ReadFrame(cc, &req); err != nil {
 			return // EOF or bad peer: drop the connection
 		}
+		start := time.Now()
 		resp := s.dispatch(&req)
-		if err := WriteFrame(conn, resp); err != nil {
+		resp.ID = req.ID
+		w0 := cc.written
+		if err := WriteFrame(cc, resp); err != nil {
 			return
 		}
+		s.observe(&req, resp, time.Since(start), cc.read-r0, cc.written-w0)
 	}
+}
+
+// observe publishes one request's accounting: per-op counters into the
+// metrics registry and one structured log line. Both sinks are optional
+// and independently nil-safe.
+func (s *Server) observe(req *Request, resp *Response, d time.Duration, inB, outB int64) {
+	op := string(req.Op)
+	if s.Metrics != nil {
+		s.Metrics.Counter(metrics.Label("wire_requests_total", "op", op)).Inc()
+		if !resp.OK {
+			s.Metrics.Counter(metrics.Label("wire_errors_total", "op", op)).Inc()
+		}
+		s.Metrics.Counter(metrics.Label("wire_request_bytes_total", "op", op)).Add(inB)
+		s.Metrics.Counter(metrics.Label("wire_response_bytes_total", "op", op)).Add(outB)
+	}
+	if s.Logger != nil {
+		attrs := []any{
+			"id", req.ID, "op", op, "fn", req.Fn, "ok", resp.OK,
+			"dur_ms", float64(d.Microseconds()) / 1000, "in_bytes", inB, "out_bytes", outB,
+		}
+		if resp.Error != "" {
+			attrs = append(attrs, "error", resp.Error)
+			s.Logger.Warn("request", attrs...)
+		} else {
+			s.Logger.Info("request", attrs...)
+		}
+	}
+}
+
+// top summarizes every faas_invoke_duration_seconds histogram in the
+// registry into per-(endpoint, function) latency percentiles, joined with
+// the matching cold/warm counters. Sorted by endpoint then function for
+// stable rendering.
+func (s *Server) top() []FnMetrics {
+	var out []FnMetrics
+	s.Metrics.EachHistogram(func(name string, h *metrics.Histogram) {
+		base, labels := metrics.SplitLabels(name)
+		if base != "faas_invoke_duration_seconds" {
+			return
+		}
+		ep, fn := labels["ep"], labels["fn"]
+		out = append(out, FnMetrics{
+			Endpoint:   ep,
+			Fn:         fn,
+			Count:      h.Count(),
+			P50:        h.P50(),
+			P90:        h.P90(),
+			P99:        h.P99(),
+			ColdStarts: s.Metrics.Counter(metrics.Label("faas_cold_starts_total", "ep", ep, "fn", fn)).Value(),
+			WarmHits:   s.Metrics.Counter(metrics.Label("faas_warm_hits_total", "ep", ep, "fn", fn)).Value(),
+		})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		return out[i].Fn < out[j].Fn
+	})
+	return out
 }
 
 func (s *Server) dispatch(req *Request) *Response {
@@ -194,6 +324,11 @@ func (s *Server) dispatch(req *Request) *Response {
 			return &Response{Error: "wire: no registry"}
 		}
 		return &Response{OK: true, Names: s.Registry.Names()}
+	case OpTop:
+		if s.Metrics == nil {
+			return &Response{Error: "wire: no metrics registry (start the daemon with metrics enabled)"}
+		}
+		return &Response{OK: true, Top: s.top()}
 	case OpStats:
 		var stats []EndpointStats
 		for _, ep := range s.Endpoints {
@@ -213,10 +348,14 @@ func (s *Server) dispatch(req *Request) *Response {
 }
 
 // Client is a synchronous protocol client. It is safe for concurrent use:
-// calls serialize on the single connection.
+// calls serialize on the single connection. Every request is stamped with
+// a unique ID ("<connection-prefix>-<seq>") the server echoes back,
+// correlating client calls with server log lines.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	prefix string
+	seq    atomic.Int64
 }
 
 // Dial connects to a server.
@@ -225,13 +364,20 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return nil, fmt.Errorf("wire: request-id seed: %w", err)
+	}
+	return &Client{conn: conn, prefix: hex.EncodeToString(b[:])}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if req.ID == "" {
+		req.ID = fmt.Sprintf("%s-%d", c.prefix, c.seq.Add(1))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := WriteFrame(c.conn, req); err != nil {
@@ -287,4 +433,15 @@ func (c *Client) Stats() ([]EndpointStats, error) {
 		return nil, err
 	}
 	return resp.Stats, nil
+}
+
+// Top returns live per-function latency percentiles and cold/warm counts
+// from the server's metrics registry. Fails if the server was started
+// without one.
+func (c *Client) Top() ([]FnMetrics, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTop})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Top, nil
 }
