@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench
+.PHONY: check build test bench chaos-smoke
 
 check:
 	./scripts/check.sh
@@ -13,3 +13,8 @@ test:
 
 bench:
 	go test -bench=. -benchmem .
+
+# End-to-end reliability smoke: chaos injection + endpoint kill under the
+# race detector (also part of `make check`).
+chaos-smoke:
+	go test -race -count=1 -run 'TestE2EChaosNoRequestLost|TestDeadlineParitySimAndLive' .

@@ -1,0 +1,122 @@
+package continuum_test
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/fault"
+	"continuum/internal/metrics"
+	"continuum/internal/retry"
+	"continuum/internal/wire"
+)
+
+// liveEndpoint assembles one in-process continuumd: a faas endpoint
+// behind a wire server, optionally with chaos injection — the exact
+// composition cmd/continuumd builds from flags.
+func liveEndpoint(t *testing.T, name string, chaos *fault.Chaos) (*wire.Server, string) {
+	t.Helper()
+	reg := faas.NewRegistry()
+	reg.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	ep := faas.NewEndpoint(faas.EndpointConfig{
+		Name: name, Capacity: 8, WarmTTL: time.Minute,
+	}, reg)
+	srv := &wire.Server{
+		Invoker: ep, Batcher: ep, Registry: reg,
+		Endpoints: []*faas.Endpoint{ep},
+		Chaos:     chaos,
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(srv.Close)
+	return srv, lis.Addr().String()
+}
+
+// TestE2EChaosNoRequestLost is the end-to-end reliability claim: a
+// federation of three endpoints, one injecting faults (dropped
+// connections and error responses), one killed mid-run — and a
+// ReliableClient still completes 100% of invocations, with the breaker
+// transitions visible in the Prometheus exposition a daemon would serve.
+func TestE2EChaosNoRequestLost(t *testing.T) {
+	chaos := fault.NewChaos(fault.ChaosSpec{DropProb: 0.15, ErrProb: 0.25, Seed: 42})
+	_, chaoticAddr := liveEndpoint(t, "chaotic", chaos)
+	victim, victimAddr := liveEndpoint(t, "victim", nil)
+	_, stableAddr := liveEndpoint(t, "stable", nil)
+
+	m := metrics.NewRegistry()
+	rc, err := wire.NewReliableClient(wire.ReliableConfig{
+		Addrs: []string{chaoticAddr, victimAddr, stableAddr},
+		Retry: retry.Policy{
+			MaxAttempts: 12,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+		},
+		Breaker: retry.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         50 * time.Millisecond,
+		},
+		CallTimeout: 2 * time.Second,
+		Metrics:     m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const total, workers = 200, 8
+	var wg sync.WaitGroup
+	var failures []string
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/workers; i++ {
+				if w == 0 && i == total/workers/2 {
+					victim.Close() // kill an endpoint mid-run
+				}
+				want := fmt.Sprintf("req-%d-%d", w, i)
+				out, err := rc.Invoke("echo", []byte(want))
+				if err != nil || string(out) != want {
+					mu.Lock()
+					failures = append(failures, fmt.Sprintf("%s: %q, %v", want, out, err))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(failures) != 0 {
+		t.Fatalf("%d/%d invocations lost under chaos:\n%s",
+			len(failures), total, strings.Join(failures, "\n"))
+	}
+
+	// The dead endpoint's breaker must have tripped, and the whole
+	// reliability state must be visible the way operators would see it:
+	// through the metrics exposition.
+	if rc.BreakerStates()[victimAddr] == retry.Closed {
+		t.Fatalf("victim breaker still closed after endpoint death: %v", rc.BreakerStates())
+	}
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	exp := sb.String()
+	for _, want := range []string{"wire_breaker_state{", "wire_breaker_trips_total{", "wire_client_retries_total"} {
+		if !strings.Contains(exp, want) {
+			t.Fatalf("metrics exposition missing %s:\n%s", want, exp)
+		}
+	}
+	if m.Counter(metrics.Label("wire_breaker_trips_total", "ep", victimAddr)).Value() == 0 {
+		t.Fatal("victim breaker trip not counted")
+	}
+	if m.Counter("wire_client_retries_total").Value() == 0 {
+		t.Fatal("no retries recorded despite chaos and a killed endpoint")
+	}
+}

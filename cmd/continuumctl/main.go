@@ -10,6 +10,13 @@
 //	continuumctl -addr 127.0.0.1:9090 invoke matmul '{"n":64}'
 //	continuumctl -addr 127.0.0.1:9090 bench echo -n 1000 -c 8
 //	continuumctl -addr 127.0.0.1:9090 top -i 2s
+//
+// -addr accepts a comma-separated federation; invoke, ping, and bench
+// then go through a reliable client (retry with backoff, failover, and
+// per-endpoint circuit breakers) and print a breaker summary. -timeout
+// bounds every round trip so a dead endpoint fails fast.
+//
+//	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -timeout 2s bench echo -n 1000
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,29 +33,68 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9090", "endpoint address")
+	addr := flag.String("addr", "127.0.0.1:9090", "endpoint address, or comma-separated list for retry+failover")
+	timeout := flag.Duration("timeout", 0, "per-call deadline (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	addrs := splitAddrs(*addr)
 
-	c, err := wire.Dial(*addr)
-	if err != nil {
-		fatal(err)
+	// Federation commands (ping, invoke, bench) use the reliable client
+	// when several addresses are given — retry, failover, breakers. The
+	// admin commands (list, stats, top) always talk to the first address.
+	var rc *wire.ReliableClient
+	if len(addrs) > 1 {
+		var err error
+		rc, err = wire.NewReliableClient(wire.ReliableConfig{
+			Addrs:       addrs,
+			CallTimeout: *timeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer rc.Close()
 	}
-	defer c.Close()
+	// admin lazily dials the first address for the single-endpoint ops.
+	var c *wire.Client
+	admin := func() *wire.Client {
+		if c == nil {
+			var err error
+			c, err = wire.Dial(addrs[0])
+			if err != nil {
+				fatal(err)
+			}
+			if *timeout > 0 {
+				c.SetCallTimeout(*timeout)
+			}
+		}
+		return c
+	}
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
 
 	switch args[0] {
 	case "ping":
 		start := time.Now()
-		if err := c.Ping(); err != nil {
+		var err error
+		if rc != nil {
+			err = rc.Ping()
+		} else {
+			err = admin().Ping()
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("pong in %v\n", time.Since(start).Round(time.Microsecond))
+		breakerSummary(rc)
 
 	case "list":
-		names, err := c.List()
+		names, err := admin().List()
 		if err != nil {
 			fatal(err)
 		}
@@ -56,7 +103,7 @@ func main() {
 		}
 
 	case "stats":
-		stats, err := c.Stats()
+		stats, err := admin().Stats()
 		if err != nil {
 			fatal(err)
 		}
@@ -73,11 +120,18 @@ func main() {
 		if len(args) >= 3 {
 			payload = args[2]
 		}
-		out, err := c.Invoke(args[1], []byte(payload))
+		var out []byte
+		var err error
+		if rc != nil {
+			out, err = rc.Invoke(args[1], []byte(payload))
+		} else {
+			out, err = admin().Invoke(args[1], []byte(payload))
+		}
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(string(out))
+		breakerSummary(rc)
 
 	case "top":
 		topFlags := flag.NewFlagSet("top", flag.ExitOnError)
@@ -86,7 +140,7 @@ func main() {
 		if err := topFlags.Parse(args[1:]); err != nil {
 			fatal(err)
 		}
-		runTop(c, *interval, *iters)
+		runTop(admin(), *interval, *iters)
 
 	case "bench":
 		if len(args) < 2 {
@@ -99,7 +153,7 @@ func main() {
 		if err := benchFlags.Parse(args[2:]); err != nil {
 			fatal(err)
 		}
-		runBench(*addr, args[1], []byte(*payload), *n, *conc)
+		runBench(addrs, *timeout, args[1], []byte(*payload), *n, *conc)
 
 	default:
 		usage()
@@ -132,9 +186,30 @@ func runTop(c *wire.Client, interval time.Duration, iters int) {
 	}
 }
 
-// runBench opens conc connections and fires n invocations, printing
-// throughput and latency percentiles.
-func runBench(addr, fn string, payload []byte, n, conc int) {
+// benchCaller is the slice of the client API runBench needs; both
+// wire.Client and wire.ReliableClient satisfy it.
+type benchCaller interface {
+	Invoke(fn string, payload []byte) ([]byte, error)
+	Close() error
+}
+
+// runBench opens conc connections (reliable clients when several
+// addresses are given) and fires n invocations, printing throughput and
+// latency percentiles.
+func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, n, conc int) {
+	dial := func() (benchCaller, error) {
+		if len(addrs) > 1 {
+			return wire.NewReliableClient(wire.ReliableConfig{Addrs: addrs, CallTimeout: timeout})
+		}
+		c, err := wire.Dial(addrs[0])
+		if err != nil {
+			return nil, err
+		}
+		if timeout > 0 {
+			c.SetCallTimeout(timeout)
+		}
+		return c, nil
+	}
 	per := n / conc
 	lats := make([][]time.Duration, conc)
 	var wg sync.WaitGroup
@@ -144,7 +219,7 @@ func runBench(addr, fn string, payload []byte, n, conc int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := wire.Dial(addr)
+			c, err := dial()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bench dial:", err)
 				return
@@ -184,8 +259,39 @@ func sortDurations(ds []time.Duration) {
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 }
 
+// splitAddrs parses the -addr flag into a clean address list.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		fatal(fmt.Errorf("no endpoint address given"))
+	}
+	return out
+}
+
+// breakerSummary prints each endpoint's circuit state after a
+// federation command; nil-safe for the single-address path.
+func breakerSummary(rc *wire.ReliableClient) {
+	if rc == nil {
+		return
+	}
+	states := rc.BreakerStates()
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(os.Stderr, "breaker %s: %s\n", k, states[k])
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `continuumctl [-addr host:port] <command>
+	fmt.Fprintln(os.Stderr, `continuumctl [-addr host:port[,host:port...]] [-timeout d] <command>
 
 commands:
   ping                      round-trip check
@@ -193,7 +299,11 @@ commands:
   stats                     endpoint counters
   invoke <fn> [payload]     call a function
   top [-i interval] [-n refreshes]        live per-function latency table
-  bench <fn> [-n N] [-c C] [-p payload]   load test`)
+  bench <fn> [-n N] [-c C] [-p payload]   load test
+
+With several -addr endpoints, ping/invoke/bench retry with backoff and
+fail over across them behind per-endpoint circuit breakers; -timeout
+bounds each round trip.`)
 	os.Exit(2)
 }
 

@@ -8,10 +8,20 @@
 //
 //	continuumd -listen 127.0.0.1:9090 -capacity 8 -cold 2ms
 //	continuumd -listen 127.0.0.1:9090 -metrics-addr 127.0.0.1:9091
+//	continuumd -listen 127.0.0.1:9090 -chaos 'err=0.1,delay=20ms,delayp=0.3'
 //
 // With -metrics-addr the daemon serves Prometheus text exposition on
 // /metrics (per-function latency histograms, cold/warm splits, in-flight
 // gauges, per-op wire counters) and a liveness probe on /healthz.
+//
+// With -chaos the daemon injects faults into its own wire path — dropped
+// connections, injected retryable errors, latency spikes, and whole down
+// phases (see fault.ParseChaos for the spec grammar) — turning any
+// federation member into a fault injector for reliability experiments.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// lets in-flight requests finish (bounded by -grace), then flushes a
+// final metrics snapshot before exiting.
 package main
 
 import (
@@ -22,10 +32,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"continuum/internal/faas"
+	"continuum/internal/fault"
 	"continuum/internal/metrics"
 	"continuum/internal/wire"
 )
@@ -112,6 +125,10 @@ func main() {
 	warmTTL := flag.Duration("warm-ttl", time.Minute, "idle warm-container lifetime")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
 	verbose := flag.Bool("verbose", false, "log one structured line per request")
+	queueWait := flag.Duration("queue-wait", 0, "max wait for a free container slot before rejecting with a retryable overload error (0 = wait forever)")
+	execTimeout := flag.Duration("exec-timeout", 0, "per-invocation execution deadline (0 = none)")
+	grace := flag.Duration("grace", 10*time.Second, "in-flight drain bound for graceful shutdown on SIGINT/SIGTERM")
+	chaos := flag.String("chaos", "", "inject wire-level faults, e.g. 'drop=0.05,err=0.1,delay=20ms,delayp=0.3,up=10s,down=500ms,seed=1' (empty = off)")
 	flag.Parse()
 
 	if *name == "" {
@@ -119,10 +136,12 @@ func main() {
 	}
 	reg := builtinRegistry()
 	ep := faas.NewEndpoint(faas.EndpointConfig{
-		Name:      *name,
-		Capacity:  *capacity,
-		ColdStart: *cold,
-		WarmTTL:   *warmTTL,
+		Name:        *name,
+		Capacity:    *capacity,
+		ColdStart:   *cold,
+		WarmTTL:     *warmTTL,
+		QueueWait:   *queueWait,
+		ExecTimeout: *execTimeout,
 	}, reg)
 
 	srv := &wire.Server{
@@ -134,8 +153,18 @@ func main() {
 	if *verbose {
 		srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	if *chaos != "" {
+		spec, err := fault.ParseChaos(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "continuumd: -chaos:", err)
+			os.Exit(2)
+		}
+		srv.Chaos = fault.NewChaos(spec)
+		fmt.Printf("continuumd: chaos enabled (%s)\n", *chaos)
+	}
+	var m *metrics.Registry
 	if *metricsAddr != "" {
-		m := metrics.NewRegistry()
+		m = metrics.NewRegistry()
 		ep.SetMetrics(m)
 		srv.Metrics = m
 		go serveMetrics(*metricsAddr, m)
@@ -147,10 +176,29 @@ func main() {
 	}
 	fmt.Printf("continuumd: endpoint %q serving %d functions on %s (capacity %d, cold start %v)\n",
 		*name, len(reg.Names()), lis.Addr(), *capacity, *cold)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		s := <-sig
+		fmt.Printf("continuumd: %v: draining in-flight requests (grace %v)\n", s, *grace)
+		srv.Shutdown(*grace) // Serve returns nil once the drain completes
+		close(drained)
+	}()
+
 	if err := srv.Serve(lis); err != nil {
 		fmt.Fprintln(os.Stderr, "continuumd:", err)
 		os.Exit(1)
 	}
+	<-drained
+	ep.Close()
+	if m != nil {
+		// Flush the final counters so a scrape gap at exit loses nothing.
+		fmt.Println("continuumd: final metrics snapshot:")
+		m.WritePrometheus(os.Stdout)
+	}
+	fmt.Println("continuumd: drained, exiting")
 }
 
 // serveMetrics exposes the shared registry in Prometheus text format plus

@@ -73,7 +73,10 @@ type unit struct {
 // run drives one attempt through the pipeline. Epoch checks bracket the
 // execution: the epoch is sampled at dispatch, re-checked after input
 // staging and after execution, and any advance routes to u.lost with a
-// Failure trace record. With zero-value options both checks are no-ops.
+// Failure trace record. TaskDeadline is checked at the same two points
+// against virtual time elapsed since dispatch; an overrun attempt is
+// treated exactly like a lost one. With zero-value options every check
+// is a no-op.
 //
 // Trace spans: a Dispatch instant marks the attempt entering the
 // pipeline, StageStart/StageEnd bracket input staging when data actually
@@ -82,12 +85,16 @@ type unit struct {
 // tracer pays only the dead branch inside Tracer.RecordAttempt.
 func (e *engine) run(u unit) {
 	epoch0 := e.opts.epoch(u.node)
-	e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Dispatch, u.node.Name, u.task.Name, u.attempt)
+	start := e.c.K.Now()
+	e.c.Tracer.RecordAttempt(start, trace.Dispatch, u.node.Name, u.task.Name, u.attempt)
 	e.stage(u, func() {
 		if e.opts.epoch(u.node) != epoch0 {
 			e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" inputs lost", u.attempt)
 			u.lost()
 			return
+		}
+		if e.missedDeadline(u, start) {
+			return // staging alone blew the attempt's budget
 		}
 		e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.TaskStart, u.node.Name, u.task.Name, u.attempt)
 		u.node.Execute(u.task.ScalarWork, u.task.TensorWork, u.task.Accel, func() {
@@ -97,12 +104,30 @@ func (e *engine) run(u unit) {
 				u.lost()
 				return
 			}
+			if e.missedDeadline(u, start) {
+				return
+			}
 			e.c.Tracer.RecordAttempt(now, trace.TaskEnd, u.node.Name, u.task.Name, u.attempt)
 			execTime := u.node.ExecTime(u.task.ScalarWork, u.task.TensorWork, u.task.Accel)
 			e.st.Dollars += u.node.DollarCost(execTime)
 			u.deliver(now)
 		})
 	})
+}
+
+// missedDeadline enforces the per-attempt deadline: when virtual time
+// since dispatch exceeds TaskDeadline, the attempt is counted as a
+// deadline miss, attributed in the trace, and routed to u.lost (which
+// consumes the retry budget). The completed work is not billed — the
+// result was discarded, matching the epoch-loss path.
+func (e *engine) missedDeadline(u unit, start float64) bool {
+	if e.opts.TaskDeadline <= 0 || e.c.K.Now()-start <= e.opts.TaskDeadline {
+		return false
+	}
+	e.st.DeadlineMisses++
+	e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" deadline exceeded", u.attempt)
+	u.lost()
+	return true
 }
 
 // stage makes the unit's inputs resident on its node, then calls next.

@@ -19,6 +19,13 @@ type ReliableOptions struct {
 	// RetryBackoff is the delay before re-dispatching a lost or
 	// unplaceable job. Defaults to 0.1s when unset.
 	RetryBackoff float64
+	// TaskDeadline bounds each attempt (virtual seconds, dispatch through
+	// execution). An attempt that overruns is treated like a lost one: a
+	// Failure trace record ("deadline exceeded") attributes it and the
+	// retry budget applies. 0 disables the bound. It mirrors the live
+	// path's faas.EndpointConfig.ExecTimeout, so simulated and real runs
+	// share one deadline semantics.
+	TaskDeadline float64
 }
 
 // ReliableStats extends Stats with failure accounting.
@@ -28,6 +35,9 @@ type ReliableStats struct {
 	Retries int64
 	// Lost counts jobs abandoned after exhausting retries.
 	Lost int64
+	// DeadlineMisses counts attempts that overran TaskDeadline (each one
+	// also consumed a retry or contributed to Lost).
+	DeadlineMisses int64
 }
 
 // SuccessRate returns completed/(completed+lost).

@@ -10,6 +10,7 @@
 package faas
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,6 +28,16 @@ var ErrUnknownFunction = errors.New("faas: unknown function")
 
 // ErrClosed is returned by invocations after Close.
 var ErrClosed = errors.New("faas: endpoint closed")
+
+// ErrHandlerPanic wraps a panic recovered from a function handler. The
+// panic is converted to an ordinary invocation error so one bad function
+// cannot take the endpoint (or the daemon serving it) down.
+var ErrHandlerPanic = errors.New("faas: handler panicked")
+
+// ErrOverloaded marks an invocation rejected before any work started
+// (the capacity-slot wait exceeded QueueWait). Unlike an execution
+// timeout it is always safe to retry on another endpoint.
+var ErrOverloaded = errors.New("faas: endpoint overloaded")
 
 // Registry maps function names to handlers. It is safe for concurrent use.
 type Registry struct {
@@ -74,6 +85,14 @@ type Invoker interface {
 	Invoke(fn string, payload []byte) ([]byte, error)
 }
 
+// ContextInvoker is an Invoker that also honors a context deadline —
+// Endpoints and Routers implement it; wrappers that cannot thread a
+// context (the Batcher) stay plain Invokers.
+type ContextInvoker interface {
+	Invoker
+	InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error)
+}
+
 // EndpointConfig parameterizes one execution site.
 type EndpointConfig struct {
 	Name     string
@@ -87,6 +106,17 @@ type EndpointConfig struct {
 	WarmTTL time.Duration
 	// MaxWarmPerFn caps the warm pool per function (0 = Capacity).
 	MaxWarmPerFn int
+
+	// QueueWait bounds how long an invocation may block waiting for a
+	// capacity slot before failing with a deadline error (0 = wait
+	// forever, subject to the caller's context).
+	QueueWait time.Duration
+	// ExecTimeout bounds handler execution wall-clock time (0 =
+	// unbounded). A timed-out invocation returns an error wrapping
+	// context.DeadlineExceeded; the abandoned handler keeps its capacity
+	// slot until it actually returns (Go cannot kill a goroutine), so a
+	// stuck handler degrades capacity rather than corrupting state.
+	ExecTimeout time.Duration
 }
 
 type container struct {
@@ -108,10 +138,12 @@ type Endpoint struct {
 	// Running is the number of in-flight containers (approximate gauge).
 	running atomic.Int64
 
-	// Stats (atomic): cold starts, warm hits, completed invocations.
+	// Stats (atomic): cold starts, warm hits, completed invocations,
+	// recovered handler panics.
 	coldStarts  atomic.Int64
 	warmHits    atomic.Int64
 	invocations atomic.Int64
+	panics      atomic.Int64
 
 	// obs, when non-nil, publishes per-function latency histograms,
 	// queue-wait, cold/warm counters, and an in-flight gauge into a
@@ -136,6 +168,7 @@ type fnMetrics struct {
 	latency     *metrics.Histogram
 	cold, warm  *metrics.Counter
 	invocations *metrics.Counter
+	panics      *metrics.Counter
 }
 
 func newEpObserver(reg *metrics.Registry, ep string) *epObserver {
@@ -159,6 +192,7 @@ func (o *epObserver) fn(name string) *fnMetrics {
 			cold:        o.reg.Counter(metrics.Label("faas_cold_starts_total", "ep", o.ep, "fn", name)),
 			warm:        o.reg.Counter(metrics.Label("faas_warm_hits_total", "ep", o.ep, "fn", name)),
 			invocations: o.reg.Counter(metrics.Label("faas_invocations_total", "ep", o.ep, "fn", name)),
+			panics:      o.reg.Counter(metrics.Label("faas_panics_total", "ep", o.ep, "fn", name)),
 		}
 		o.fns[name] = m
 	}
@@ -190,6 +224,7 @@ func NewEndpoint(cfg EndpointConfig, reg *Registry) *Endpoint {
 //	faas_cold_starts_total{ep,fn}        invocations that paid provisioning
 //	faas_warm_hits_total{ep,fn}          invocations that reused a container
 //	faas_invocations_total{ep,fn}        completed invocations
+//	faas_panics_total{ep,fn}             handler panics recovered
 //	faas_inflight{ep}                    invocations currently in the endpoint
 //
 // Call before serving traffic: SetMetrics is not synchronized against
@@ -220,6 +255,9 @@ func (ep *Endpoint) WarmHits() int64 { return ep.warmHits.Load() }
 
 // Invocations returns completed invocation count.
 func (ep *Endpoint) Invocations() int64 { return ep.invocations.Load() }
+
+// Panics returns how many handler panics were recovered.
+func (ep *Endpoint) Panics() int64 { return ep.panics.Load() }
 
 // Close marks the endpoint closed; in-flight work completes, new
 // invocations fail.
@@ -275,6 +313,15 @@ func (ep *Endpoint) WarmCount(fn string) int {
 // Invoke executes fn with payload, blocking for a capacity slot. The
 // container is returned to the warm pool afterwards.
 func (ep *Endpoint) Invoke(fn string, payload []byte) ([]byte, error) {
+	return ep.InvokeContext(context.Background(), fn, payload)
+}
+
+// InvokeContext executes fn with payload under ctx: the capacity-slot
+// wait is bounded by ctx and EndpointConfig.QueueWait, and handler
+// execution is bounded by ctx and EndpointConfig.ExecTimeout. Timeout
+// errors wrap context.DeadlineExceeded; handler panics are recovered
+// into ErrHandlerPanic errors.
+func (ep *Endpoint) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
 	h, ok := ep.reg.Lookup(fn)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
@@ -288,16 +335,17 @@ func (ep *Endpoint) Invoke(fn string, payload []byte) ([]byte, error) {
 		obs.inflight.Add(1)
 		defer obs.inflight.Add(-1)
 	}
-	ep.slots <- struct{}{}
-	defer func() { <-ep.slots }()
+	if err := ep.acquireSlot(ctx, fn); err != nil {
+		return nil, err
+	}
 	if obs != nil {
 		obs.queueWait.Add(time.Since(entered).Seconds())
 	}
 	ep.running.Add(1)
-	defer ep.running.Add(-1)
 
 	warm, err := ep.acquire(fn)
 	if err != nil {
+		ep.releaseSlot()
 		return nil, err
 	}
 	if warm {
@@ -314,14 +362,114 @@ func (ep *Endpoint) Invoke(fn string, payload []byte) ([]byte, error) {
 			time.Sleep(ep.cfg.ColdStart)
 		}
 	}
-	out, err := h(payload)
-	ep.release(fn)
+	out, err := ep.execute(ctx, fn, h, payload)
 	ep.invocations.Add(1)
 	if fm != nil {
 		fm.invocations.Inc()
 		fm.latency.Add(time.Since(entered).Seconds())
 	}
 	return out, err
+}
+
+// acquireSlot blocks for a capacity slot, bounded by ctx and the
+// configured QueueWait. Both bounds surface as errors wrapping the
+// corresponding context error, so callers can classify overload
+// (deadline) apart from application failures.
+func (ep *Endpoint) acquireSlot(ctx context.Context, fn string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("faas: %q queue wait: %w", fn, err)
+	}
+	var timeout <-chan time.Time
+	if ep.cfg.QueueWait > 0 {
+		t := time.NewTimer(ep.cfg.QueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case ep.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("faas: %q queue wait: %w", fn, ctx.Err())
+	case <-timeout:
+		return fmt.Errorf("%w: %q queue wait exceeded %v: %w", ErrOverloaded, fn, ep.cfg.QueueWait, context.DeadlineExceeded)
+	}
+}
+
+// releaseSlot undoes acquireSlot plus the running count.
+func (ep *Endpoint) releaseSlot() {
+	ep.running.Add(-1)
+	<-ep.slots
+}
+
+// safeCall runs the handler with panic containment: a panicking handler
+// yields an ErrHandlerPanic invocation error (and bumps the panic
+// counters) instead of unwinding the endpoint.
+func (ep *Endpoint) safeCall(fn string, h Handler, payload []byte) (out []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ep.panics.Add(1)
+			if obs := ep.obs; obs != nil {
+				obs.fn(fn).panics.Inc()
+			}
+			err = fmt.Errorf("%w: %q: %v", ErrHandlerPanic, fn, r)
+		}
+	}()
+	return h(payload)
+}
+
+// execute runs the handler and releases the container and capacity slot.
+// Without a deadline it runs inline (no extra goroutine on the fast
+// path). With one, the handler runs in a goroutine and exactly one side
+// — the caller or, if the caller times out first, the abandoned handler
+// itself — performs the release, decided by a single atomic claim.
+func (ep *Endpoint) execute(ctx context.Context, fn string, h Handler, payload []byte) ([]byte, error) {
+	finish := func() {
+		ep.release(fn)
+		ep.releaseSlot()
+	}
+	if ctx.Done() == nil && ep.cfg.ExecTimeout <= 0 {
+		out, err := ep.safeCall(fn, h, payload)
+		finish()
+		return out, err
+	}
+	var timeout <-chan time.Time
+	if ep.cfg.ExecTimeout > 0 {
+		t := time.NewTimer(ep.cfg.ExecTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	type result struct {
+		out []byte
+		err error
+	}
+	done := make(chan result, 1)
+	var claimed atomic.Bool // first claimant controls who releases
+	go func() {
+		out, err := ep.safeCall(fn, h, payload)
+		if !claimed.CompareAndSwap(false, true) {
+			finish() // caller gave up: the late handler cleans up
+			return
+		}
+		done <- result{out, err}
+	}()
+	abandon := func(cause error) ([]byte, error) {
+		if !claimed.CompareAndSwap(false, true) {
+			r := <-done // lost the race: the handler just finished
+			finish()
+			return r.out, r.err
+		}
+		return nil, cause
+	}
+	select {
+	case r := <-done:
+		finish()
+		return r.out, r.err
+	case <-timeout:
+		return abandon(fmt.Errorf("faas: %q deadline exceeded after %v: %w",
+			fn, ep.cfg.ExecTimeout, context.DeadlineExceeded))
+	case <-ctx.Done():
+		return abandon(fmt.Errorf("faas: %q: %w", fn, ctx.Err()))
+	}
 }
 
 // InvokeBatch executes multiple payloads of the same function under a
@@ -371,7 +519,7 @@ func (ep *Endpoint) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) 
 	out := make([][]byte, len(payloads))
 	var firstErr error
 	for i, p := range payloads {
-		v, err := h(p)
+		v, err := ep.safeCall(fn, h, p)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync/atomic"
@@ -79,6 +80,11 @@ func (r *Router) pick(fn string) *Endpoint {
 // Invoke routes one invocation.
 func (r *Router) Invoke(fn string, payload []byte) ([]byte, error) {
 	return r.pick(fn).Invoke(fn, payload)
+}
+
+// InvokeContext routes one invocation under ctx.
+func (r *Router) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	return r.pick(fn).InvokeContext(ctx, fn, payload)
 }
 
 // InvokeBatch routes a whole batch to one endpoint.

@@ -1,0 +1,200 @@
+package retry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, Now: clk.now})
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("tripped after 2 of 3 failures")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Now: clk.now})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("interleaved success did not reset the consecutive count")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("did not trip at threshold after reset")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecloses(t *testing.T) {
+	clk := &fakeClock{}
+	var transitions []State
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		Now:              clk.now,
+		OnStateChange:    func(_, to State) { transitions = append(transitions, to) },
+	})
+	b.Failure() // trips
+	if b.Allow() {
+		t.Fatal("open breaker allowed")
+	}
+	clk.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	// Only HalfOpenProbes (1) concurrent probe is admitted.
+	if b.Allow() {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v", b.State())
+	}
+	want := []State{Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i, w := range want {
+		if transitions[i] != w {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, Now: clk.now})
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open refused the probe")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d", b.Trips())
+	}
+	// The cooldown restarted at the probe failure.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before the restarted cooldown elapsed")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("refused after the restarted cooldown")
+	}
+}
+
+func TestBreakerRateWindowTrips(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 100, // consecutive tripping effectively off
+		FailureRate:      0.5,
+		Window:           10,
+		Now:              clk.now,
+	})
+	// Alternate success/failure: 50% rate, not above the threshold.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			b.Failure()
+		} else {
+			b.Success()
+		}
+	}
+	if b.State() != Closed {
+		t.Fatal("tripped at exactly the threshold rate")
+	}
+	// Push the window above 50% failures.
+	b.Failure()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v with windowed error rate above threshold", b.State())
+	}
+}
+
+func TestBreakerRateNeedsFullWindow(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 100,
+		FailureRate:      0.1,
+		Window:           10,
+		Now:              clk.now,
+	})
+	// 5 failures is a 100% observed rate but only half a window: no trip.
+	for i := 0; i < 5; i++ {
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatal("tripped on a partial window")
+	}
+}
+
+func TestBreakerMultipleHalfOpenProbes(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   2,
+		Now:              clk.now,
+	})
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("half-open refused configured probes")
+	}
+	if b.Allow() {
+		t.Fatal("admitted more than HalfOpenProbes probes")
+	}
+	b.Success()
+	if b.State() != HalfOpen {
+		t.Fatal("re-closed after 1 of 2 probe successes")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after all probe successes", b.State())
+	}
+}

@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"continuum/internal/metrics"
+	"continuum/internal/retry"
+)
+
+// ErrAllBreakersOpen is returned (and retried with backoff — cooldowns
+// eventually admit half-open probes) when every endpoint's circuit
+// breaker is refusing traffic.
+var ErrAllBreakersOpen = errors.New("wire: all endpoint breakers open")
+
+// ReliableConfig parameterizes a ReliableClient.
+type ReliableConfig struct {
+	// Addrs lists the federation's endpoint addresses. Attempts rotate
+	// across them, so a retry after a failure naturally fails over.
+	Addrs []string
+	// Retry is the backoff policy (zero value → retry defaults). Its
+	// Retryable classifier defaults to IsRetryable plus
+	// ErrAllBreakersOpen.
+	Retry retry.Policy
+	// Breaker parameterizes the per-endpoint circuit breakers (zero
+	// value → breaker defaults).
+	Breaker retry.BreakerConfig
+	// CallTimeout bounds each round trip (0 = none). Connects are always
+	// bounded by DefaultDialTimeout.
+	CallTimeout time.Duration
+	// Metrics, when set, receives the reliability counters:
+	//
+	//	wire_breaker_state{ep}        0 closed, 1 open, 2 half-open
+	//	wire_breaker_trips_total{ep}  transitions into open
+	//	wire_client_retries_total     attempts after the first
+	//	wire_client_failovers_total   attempts on a different endpoint
+	//	                              than the previous try
+	Metrics *metrics.Registry
+}
+
+// repEndpoint is one endpoint's client-side state: a lazily dialed,
+// reusable connection and the circuit breaker guarding it.
+type repEndpoint struct {
+	addr    string
+	breaker *retry.Breaker
+
+	mu     sync.Mutex
+	client *Client
+}
+
+// get returns the endpoint's connection, dialing if needed.
+func (e *repEndpoint) get(ctx context.Context, callTimeout time.Duration) (*Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.client != nil {
+		return e.client, nil
+	}
+	c, err := DialContext(ctx, e.addr)
+	if err != nil {
+		return nil, err
+	}
+	if callTimeout > 0 {
+		c.SetCallTimeout(callTimeout)
+	}
+	e.client = c
+	return c, nil
+}
+
+// discard drops a broken connection so the next attempt redials. Only
+// the exact client that failed is discarded — a concurrent caller may
+// already have replaced it.
+func (e *repEndpoint) discard(c *Client) {
+	e.mu.Lock()
+	if e.client == c {
+		e.client = nil
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+// ReliableClient invokes functions across a federation of endpoints with
+// retry (exponential backoff, full jitter), failover, and per-endpoint
+// circuit breakers. It is safe for concurrent use. A transport failure
+// or a server response marked retryable moves the attempt to the next
+// endpoint; definitive application errors return immediately.
+type ReliableClient struct {
+	cfg ReliableConfig
+	eps []*repEndpoint
+
+	mu   sync.Mutex
+	next int // round-robin start for the next call
+
+	retries, failovers *metrics.Counter // nil without a registry
+}
+
+// NewReliableClient builds a client over the configured endpoints. No
+// connection is made until the first call.
+func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("wire: reliable client needs at least one address")
+	}
+	r := &ReliableClient{cfg: cfg}
+	if cfg.Metrics != nil {
+		r.retries = cfg.Metrics.Counter("wire_client_retries_total")
+		r.failovers = cfg.Metrics.Counter("wire_client_failovers_total")
+	}
+	for _, addr := range cfg.Addrs {
+		bc := cfg.Breaker
+		if cfg.Metrics != nil {
+			state := cfg.Metrics.Gauge(metrics.Label("wire_breaker_state", "ep", addr))
+			state.Set(float64(retry.Closed))
+			trips := cfg.Metrics.Counter(metrics.Label("wire_breaker_trips_total", "ep", addr))
+			bc.OnStateChange = func(_, to retry.State) {
+				state.Set(float64(to))
+				if to == retry.Open {
+					trips.Inc()
+				}
+			}
+		}
+		r.eps = append(r.eps, &repEndpoint{addr: addr, breaker: retry.NewBreaker(bc)})
+	}
+	return r, nil
+}
+
+// policy returns the retry policy with the default classifier filled in.
+func (r *ReliableClient) policy() retry.Policy {
+	p := r.cfg.Retry
+	if p.Retryable == nil {
+		p.Retryable = func(err error) bool {
+			return errors.Is(err, ErrAllBreakersOpen) || IsRetryable(err)
+		}
+	}
+	return p
+}
+
+// pick selects the next endpoint whose breaker admits traffic, rotating
+// round-robin so consecutive attempts (and concurrent calls) spread
+// across the federation. Returns nil when every breaker refuses.
+func (r *ReliableClient) pick() *repEndpoint {
+	r.mu.Lock()
+	start := r.next
+	r.next++
+	r.mu.Unlock()
+	for i := 0; i < len(r.eps); i++ {
+		ep := r.eps[(start+i)%len(r.eps)]
+		if ep.breaker.Allow() {
+			return ep
+		}
+	}
+	return nil
+}
+
+// do runs op against successive endpoints under the retry policy.
+func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
+	var last *repEndpoint
+	return r.policy().Do(ctx, func(attempt int) error {
+		ep := r.pick()
+		if ep == nil {
+			return ErrAllBreakersOpen
+		}
+		if attempt > 0 {
+			if r.retries != nil {
+				r.retries.Inc()
+			}
+			if last != nil && ep != last && r.failovers != nil {
+				r.failovers.Inc()
+			}
+		}
+		last = ep
+		c, err := ep.get(ctx, r.cfg.CallTimeout)
+		if err != nil {
+			ep.breaker.Failure()
+			return err
+		}
+		if err := op(c); err != nil {
+			ep.breaker.Failure()
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				// Transport-level failure: the connection is suspect.
+				ep.discard(c)
+			}
+			return err
+		}
+		ep.breaker.Success()
+		return nil
+	})
+}
+
+// Invoke calls fn with retry and failover.
+func (r *ReliableClient) Invoke(fn string, payload []byte) ([]byte, error) {
+	return r.InvokeContext(context.Background(), fn, payload)
+}
+
+// InvokeContext calls fn with retry and failover under ctx; ctx bounds
+// the whole retry loop including backoff sleeps.
+func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	var out []byte
+	err := r.do(ctx, func(c *Client) error {
+		var err error
+		out, err = c.InvokeContext(ctx, fn, payload)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ping round-trips against any live endpoint.
+func (r *ReliableClient) Ping() error {
+	return r.do(context.Background(), func(c *Client) error { return c.Ping() })
+}
+
+// BreakerStates returns each endpoint's current breaker state, keyed by
+// address — continuumctl renders this after a failover-enabled run.
+func (r *ReliableClient) BreakerStates() map[string]retry.State {
+	out := make(map[string]retry.State, len(r.eps))
+	for _, ep := range r.eps {
+		out[ep.addr] = ep.breaker.State()
+	}
+	return out
+}
+
+// Close closes every endpoint connection.
+func (r *ReliableClient) Close() error {
+	var first error
+	for _, ep := range r.eps {
+		ep.mu.Lock()
+		c := ep.client
+		ep.client = nil
+		ep.mu.Unlock()
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = fmt.Errorf("wire: close %s: %w", ep.addr, err)
+			}
+		}
+	}
+	return first
+}

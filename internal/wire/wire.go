@@ -15,6 +15,7 @@
 package wire
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"continuum/internal/faas"
+	"continuum/internal/fault"
 	"continuum/internal/metrics"
 )
 
@@ -37,8 +39,45 @@ import (
 // cannot allocate unbounded memory.
 const MaxFrame = 16 << 20
 
+// DefaultDialTimeout bounds the TCP connect in Dial, so a blackholed
+// address fails fast instead of hanging the caller for the kernel's
+// minutes-long SYN retry budget.
+const DefaultDialTimeout = 5 * time.Second
+
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
+// RemoteError is an application-level error response: the server
+// answered with a well-formed frame carrying an error, so the connection
+// itself is healthy. Retryable marks errors the server declared
+// transient (overload, injected chaos) — safe to retry elsewhere.
+type RemoteError struct {
+	Msg       string
+	Retryable bool
+}
+
+// Error returns the server's message.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// IsRetryable classifies an error from a Client call as safe to retry on
+// another connection or endpoint: transport failures (dials, resets,
+// EOFs, timeouts) and server responses explicitly marked retryable.
+// Definitive application errors (unknown function, handler failure) are
+// not retryable — re-running them elsewhere would mask real bugs.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Retryable
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // Op identifies a request type.
 type Op string
@@ -88,16 +127,20 @@ type FnMetrics struct {
 	WarmHits   int64   `json:"warm_hits"`
 }
 
-// Response is a server frame. ID echoes the request's ID.
+// Response is a server frame. ID echoes the request's ID. Retryable,
+// when set on an error response, marks the failure as transient — the
+// client may safely retry the request on this or another endpoint. Like
+// ID it is an optional JSON field, so mixed-version peers interoperate.
 type Response struct {
-	OK      bool            `json:"ok"`
-	ID      string          `json:"id,omitempty"`
-	Error   string          `json:"error,omitempty"`
-	Payload []byte          `json:"payload,omitempty"`
-	Batch   [][]byte        `json:"batch,omitempty"`
-	Names   []string        `json:"names,omitempty"`
-	Stats   []EndpointStats `json:"stats,omitempty"`
-	Top     []FnMetrics     `json:"top,omitempty"`
+	OK        bool            `json:"ok"`
+	ID        string          `json:"id,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Retryable bool            `json:"retryable,omitempty"`
+	Payload   []byte          `json:"payload,omitempty"`
+	Batch     [][]byte        `json:"batch,omitempty"`
+	Names     []string        `json:"names,omitempty"`
+	Stats     []EndpointStats `json:"stats,omitempty"`
+	Top       []FnMetrics     `json:"top,omitempty"`
 }
 
 // WriteFrame writes v as a 4-byte big-endian length followed by JSON.
@@ -157,18 +200,31 @@ type Server struct {
 	// request ID, op, function, outcome, and wall-clock duration.
 	Logger *slog.Logger
 
-	mu     sync.Mutex
-	lis    net.Listener
-	closed bool
-	wg     sync.WaitGroup
+	// Chaos, when set, injects faults ahead of every dispatch: latency
+	// spikes, retryable error responses, dropped connections, and whole
+	// down phases (see fault.ChaosSpec). Injections are counted as
+	// wire_chaos_injections_total{kind} when Metrics is set. This is how
+	// a real daemon doubles as its own fault injector for end-to-end
+	// reliability tests (continuumd -chaos).
+	Chaos *fault.Chaos
+
+	mu       sync.Mutex
+	lis      net.Listener
+	closed   bool
+	draining bool
+	conns    map[*countConn]struct{}
+	wg       sync.WaitGroup
 }
 
 // countConn wraps a connection and tallies bytes in each direction so
 // per-request frame sizes can be attributed without changing the frame
-// codec. Only the connection-handling goroutine touches the totals.
+// codec. Only the connection-handling goroutine touches the totals; busy
+// is the exception — it marks a request mid-flight so a draining server
+// knows which connections it must not cut.
 type countConn struct {
 	net.Conn
 	read, written int64
+	busy          atomic.Bool
 }
 
 func (c *countConn) Read(p []byte) (int, error) {
@@ -209,35 +265,125 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to drain.
+// Close stops accepting, closes idle connections, and drains in-flight
+// requests with no time bound. Use Shutdown for a bounded drain.
 func (s *Server) Close() {
+	s.drain(nil)
+}
+
+// Shutdown gracefully stops the server: it stops accepting, closes idle
+// connections, and lets requests already being processed finish. After
+// the grace period any connection still open is force-closed (its client
+// sees a transport error and can retry elsewhere). Shutdown returns once
+// every connection handler has exited.
+func (s *Server) Shutdown(grace time.Duration) {
+	t := time.NewTimer(grace)
+	defer t.Stop()
+	s.drain(t.C)
+}
+
+// drain implements Close/Shutdown; a nil deadline waits forever.
+func (s *Server) drain(deadline <-chan time.Time) {
 	s.mu.Lock()
 	s.closed = true
+	s.draining = true
 	lis := s.lis
+	for c := range s.conns {
+		if !c.busy.Load() {
+			c.Close() // idle: unblock its ReadFrame now
+		}
+	}
 	s.mu.Unlock()
 	if lis != nil {
 		lis.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// draining reports whether a drain has started.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func (s *Server) handle(conn net.Conn) {
 	cc := &countConn{Conn: conn}
-	defer cc.Close()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.conns == nil {
+		s.conns = make(map[*countConn]struct{})
+	}
+	s.conns[cc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, cc)
+		s.mu.Unlock()
+		cc.Close()
+	}()
 	for {
 		r0 := cc.read
 		var req Request
 		if err := ReadFrame(cc, &req); err != nil {
-			return // EOF or bad peer: drop the connection
+			return // EOF, bad peer, or drain cut: drop the connection
 		}
+		cc.busy.Store(true)
 		start := time.Now()
-		resp := s.dispatch(&req)
+		var resp *Response
+		if s.Chaos != nil {
+			act, delay := s.Chaos.Next()
+			if delay > 0 {
+				s.countChaos("delay")
+				time.Sleep(delay)
+			}
+			switch act {
+			case fault.ChaosDrop:
+				s.countChaos("drop")
+				return // sever mid-request, like a crashing endpoint
+			case fault.ChaosError:
+				s.countChaos("error")
+				resp = &Response{Error: "chaos: injected error", Retryable: true}
+			}
+		}
+		if resp == nil {
+			resp = s.dispatch(&req)
+		}
 		resp.ID = req.ID
 		w0 := cc.written
 		if err := WriteFrame(cc, resp); err != nil {
 			return
 		}
 		s.observe(&req, resp, time.Since(start), cc.read-r0, cc.written-w0)
+		cc.busy.Store(false)
+		if s.isDraining() {
+			return // graceful shutdown: stop after the in-flight request
+		}
+	}
+}
+
+// countChaos tallies one injected fault by kind.
+func (s *Server) countChaos(kind string) {
+	if s.Metrics != nil {
+		s.Metrics.Counter(metrics.Label("wire_chaos_injections_total", "kind", kind)).Inc()
 	}
 }
 
@@ -307,7 +453,10 @@ func (s *Server) dispatch(req *Request) *Response {
 	case OpInvoke:
 		out, err := s.Invoker.Invoke(req.Fn, req.Payload)
 		if err != nil {
-			return &Response{Error: err.Error()}
+			// Overload rejections and a draining endpoint never started
+			// the work, so the client may safely retry elsewhere.
+			retryable := errors.Is(err, faas.ErrOverloaded) || errors.Is(err, faas.ErrClosed)
+			return &Response{Error: err.Error(), Retryable: retryable}
 		}
 		return &Response{OK: true, Payload: out}
 	case OpBatch:
@@ -352,34 +501,91 @@ func (s *Server) dispatch(req *Request) *Response {
 // a unique ID ("<connection-prefix>-<seq>") the server echoes back,
 // correlating client calls with server log lines.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	prefix string
-	seq    atomic.Int64
+	mu      sync.Mutex
+	conn    net.Conn
+	prefix  string
+	seq     atomic.Int64
+	timeout time.Duration // per-call deadline; guarded by mu
 }
 
-// Dial connects to a server.
+// Dial connects to a server, bounding the TCP connect by
+// DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a server with an explicit connect bound
+// (0 = no bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
+	return newClient(conn)
+}
+
+// DialContext connects to a server under ctx: the connect is abandoned
+// when ctx ends, and is additionally bounded by DefaultDialTimeout.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	d := net.Dialer{Timeout: DefaultDialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(conn)
+}
+
+func newClient(conn net.Conn) (*Client, error) {
 	var b [4]byte
 	if _, err := rand.Read(b[:]); err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("wire: request-id seed: %w", err)
 	}
 	return &Client{conn: conn, prefix: hex.EncodeToString(b[:])}, nil
+}
+
+// SetCallTimeout bounds every subsequent round trip: the connection
+// deadline covers the request write and the response read, so a dead or
+// wedged peer surfaces as a timeout error instead of blocking forever.
+// 0 (the default) disables the bound.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *Request) (*Response, error) {
+	return c.roundTripContext(context.Background(), req)
+}
+
+// roundTripContext performs one call. The effective deadline is the
+// earlier of the client's call timeout and ctx's deadline; it is applied
+// to the connection with SetDeadline, so both the write and the read
+// respect it. (Cancellation without a deadline cannot interrupt a call
+// already on the wire — bound calls with a deadline, not just a cancel.)
+func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if req.ID == "" {
 		req.ID = fmt.Sprintf("%s-%d", c.prefix, c.seq.Add(1))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var deadline time.Time
+	if c.timeout > 0 {
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	// A zero deadline clears any bound from a previous call.
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
 	if err := WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -388,7 +594,7 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, err
 	}
 	if !resp.OK {
-		return &resp, errors.New(resp.Error)
+		return &resp, &RemoteError{Msg: resp.Error, Retryable: resp.Retryable}
 	}
 	return &resp, nil
 }
@@ -399,9 +605,25 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// PingContext round-trips a no-op frame under ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.roundTripContext(ctx, &Request{Op: OpPing})
+	return err
+}
+
 // Invoke calls fn remotely.
 func (c *Client) Invoke(fn string, payload []byte) ([]byte, error) {
 	resp, err := c.roundTrip(&Request{Op: OpInvoke, Fn: fn, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// InvokeContext calls fn remotely under ctx: the ctx deadline (and the
+// client's call timeout) bound the round trip.
+func (c *Client) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	resp, err := c.roundTripContext(ctx, &Request{Op: OpInvoke, Fn: fn, Payload: payload})
 	if err != nil {
 		return nil, err
 	}

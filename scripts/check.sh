@@ -23,4 +23,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos smoke (-race) =="
+# End-to-end reliability gate: fault injection active, one endpoint
+# killed mid-run, the reliable client must complete every invocation.
+go test -race -count=1 -run 'TestE2EChaosNoRequestLost|TestDeadlineParitySimAndLive' .
+
 echo "check: all gates passed"
