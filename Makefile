@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench chaos-smoke
+.PHONY: check build test bench bench-wire chaos-smoke
 
 check:
 	./scripts/check.sh
@@ -13,6 +13,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Wire-protocol hot path: microbenchmarks (ns/op, B/op, allocs/op) plus
+# the end-to-end loopback throughput run recorded in BENCH_wire.json.
+bench-wire:
+	go test -run '^$$' -bench 'BenchmarkWire' -benchmem ./internal/wire
+	go run ./cmd/continuum-bench -wire -wire-out BENCH_wire.json
 
 # End-to-end reliability smoke: chaos injection + endpoint kill under the
 # race detector (also part of `make check`).

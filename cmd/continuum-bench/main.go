@@ -8,6 +8,7 @@
 //	continuum-bench -ablations      # the A* ablation studies
 //	continuum-bench -size small     # trimmed parameters (quick look)
 //	continuum-bench -csv            # tables as CSV
+//	continuum-bench -wire           # wire-protocol throughput -> BENCH_wire.json
 package main
 
 import (
@@ -24,7 +25,20 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the ablation studies instead of the main experiments")
 	sizeFlag := flag.String("size", "full", "experiment size: 'full' or 'small'")
 	csv := flag.Bool("csv", false, "emit tables as CSV")
+	wireBench := flag.Bool("wire", false, "measure wire-protocol throughput over loopback instead of the experiments")
+	wireN := flag.Int("wire-n", 20000, "wire bench: calls per scenario")
+	wirePayload := flag.Int("wire-payload", 256, "wire bench: invoke payload bytes")
+	wireC := flag.Int("wire-c", 64, "wire bench: concurrent callers on the shared connection")
+	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire bench: JSON report path")
 	flag.Parse()
+
+	if *wireBench {
+		if err := runWireBench(*wireN, *wirePayload, *wireC, *wireOut); err != nil {
+			fmt.Fprintf(os.Stderr, "continuum-bench: wire: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	size := experiments.Full
 	switch *sizeFlag {

@@ -1,0 +1,172 @@
+package main
+
+// The -wire mode measures end-to-end wire-protocol throughput over real
+// loopback TCP: the serial JSON round trip every peer spoke before
+// multiplexing, then the same calls pipelined at high concurrency over
+// ONE multiplexed connection, in both codecs. The JSON report lands in
+// BENCH_wire.json so the numbers ride along with the code that earned
+// them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/wire"
+)
+
+type wireResult struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	Codec       string  `json:"codec"`
+	Calls       int     `json:"calls"`
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+type wireReport struct {
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	CPUs         int          `json:"cpus"`
+	PayloadBytes int          `json:"payload_bytes"`
+	Results      []wireResult `json:"results"`
+
+	// SpeedupParallelOverSerial compares the multiplexed binary path at
+	// full concurrency against the old one-call-at-a-time JSON protocol.
+	SpeedupParallelOverSerial float64 `json:"speedup_parallel_over_serial"`
+	// SpeedupSameCodec isolates multiplexing itself: parallel binary
+	// against serial binary.
+	SpeedupSameCodec float64 `json:"speedup_parallel_over_serial_same_codec"`
+
+	// Frame sizes for one 64 KiB invoke request in each codec: the
+	// binary codec's base64-free framing.
+	FrameBytes64KJSON   int `json:"frame_bytes_64k_json"`
+	FrameBytes64KBinary int `json:"frame_bytes_64k_binary"`
+}
+
+// runWireBench measures calls/sec for each scenario and writes the JSON
+// report to out.
+func runWireBench(calls, payload, concurrency int, out string) error {
+	reg := faas.NewRegistry()
+	reg.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	ep := faas.NewEndpoint(faas.EndpointConfig{
+		Name: "bench", Capacity: 2 * concurrency, WarmTTL: time.Minute,
+	}, reg)
+	srv := &wire.Server{
+		Invoker: ep, Registry: reg, Endpoints: []*faas.Endpoint{ep},
+		Workers: 2 * concurrency,
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	addr := lis.Addr().String()
+
+	body := bytes.Repeat([]byte{'x'}, payload)
+	rep := &wireReport{
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(),
+		PayloadBytes: payload,
+	}
+	scenarios := []struct {
+		name        string
+		codec       string
+		concurrency int
+	}{
+		{"serial-json", "json", 1},
+		{"serial-binary", "bin", 1},
+		{fmt.Sprintf("parallel%d-json", concurrency), "json", concurrency},
+		{fmt.Sprintf("parallel%d-binary", concurrency), "bin", concurrency},
+	}
+	for _, sc := range scenarios {
+		secs, err := wireScenario(addr, body, calls, sc.concurrency, sc.codec == "json")
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		rep.Results = append(rep.Results, wireResult{
+			Name: sc.name, Concurrency: sc.concurrency, Codec: sc.codec,
+			Calls: calls, Seconds: secs, OpsPerSec: float64(calls) / secs,
+		})
+		fmt.Printf("%-18s %8.0f ops/sec  (%d calls in %.2fs)\n",
+			sc.name, float64(calls)/secs, calls, secs)
+	}
+	rep.SpeedupParallelOverSerial = rep.Results[3].OpsPerSec / rep.Results[0].OpsPerSec
+	rep.SpeedupSameCodec = rep.Results[3].OpsPerSec / rep.Results[1].OpsPerSec
+
+	big := &wire.Request{Op: wire.OpInvoke, ID: "size-probe", Fn: "echo",
+		Payload: bytes.Repeat([]byte{0xAB}, 64<<10)}
+	var js, bin bytes.Buffer
+	if err := wire.WriteFrameCodec(&js, big, wire.CodecJSON); err != nil {
+		return err
+	}
+	if err := wire.WriteFrameCodec(&bin, big, wire.CodecBinary); err != nil {
+		return err
+	}
+	rep.FrameBytes64KJSON, rep.FrameBytes64KBinary = js.Len(), bin.Len()
+
+	fmt.Printf("speedup parallel-binary over serial-json: %.1fx (same codec: %.1fx)\n",
+		rep.SpeedupParallelOverSerial, rep.SpeedupSameCodec)
+	fmt.Printf("64KiB invoke frame: %d B json, %d B binary\n",
+		rep.FrameBytes64KJSON, rep.FrameBytes64KBinary)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// wireScenario runs `calls` echo invokes split across `concurrency`
+// goroutines sharing one multiplexed client, returning wall-clock
+// seconds. A short warmup primes warm containers and, unless pinned to
+// JSON, the binary codec upgrade.
+func wireScenario(addr string, payload []byte, calls, concurrency int, forceJSON bool) (float64, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if forceJSON {
+		c.ForceJSON()
+	}
+	for i := 0; i < 2*concurrency; i++ {
+		if _, err := c.Invoke("echo", payload); err != nil {
+			return 0, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrency)
+	per := calls / concurrency
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := c.Invoke("echo", payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	return secs, nil
+}

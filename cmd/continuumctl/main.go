@@ -9,6 +9,7 @@
 //	continuumctl -addr 127.0.0.1:9090 invoke echo 'hello'
 //	continuumctl -addr 127.0.0.1:9090 invoke matmul '{"n":64}'
 //	continuumctl -addr 127.0.0.1:9090 bench echo -n 1000 -c 8
+//	continuumctl -addr 127.0.0.1:9090 bench echo -n 1000 -c 64 -mux
 //	continuumctl -addr 127.0.0.1:9090 top -i 2s
 //
 // -addr accepts a comma-separated federation; invoke, ping, and bench
@@ -148,12 +149,13 @@ func main() {
 		}
 		benchFlags := flag.NewFlagSet("bench", flag.ExitOnError)
 		n := benchFlags.Int("n", 1000, "total invocations")
-		conc := benchFlags.Int("c", 8, "concurrent connections")
+		conc := benchFlags.Int("c", 8, "concurrent workers")
 		payload := benchFlags.String("p", "", "payload")
+		mux := benchFlags.Bool("mux", false, "share one multiplexed connection across all workers instead of dialing per worker")
 		if err := benchFlags.Parse(args[2:]); err != nil {
 			fatal(err)
 		}
-		runBench(addrs, *timeout, args[1], []byte(*payload), *n, *conc)
+		runBench(addrs, *timeout, args[1], []byte(*payload), *n, *conc, *mux)
 
 	default:
 		usage()
@@ -193,10 +195,14 @@ type benchCaller interface {
 	Close() error
 }
 
-// runBench opens conc connections (reliable clients when several
-// addresses are given) and fires n invocations, printing throughput and
-// latency percentiles.
-func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, n, conc int) {
+// runBench fires n invocations across conc workers, printing throughput
+// and latency percentiles. By default each worker dials its own
+// connection (reliable clients when several addresses are given); with
+// mux all workers share ONE multiplexed client, so every call rides the
+// same connection with out-of-order responses — the way to see the
+// pipelined wire protocol's throughput rather than the kernel's accept
+// rate.
+func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, n, conc int, mux bool) {
 	dial := func() (benchCaller, error) {
 		if len(addrs) > 1 {
 			return wire.NewReliableClient(wire.ReliableConfig{Addrs: addrs, CallTimeout: timeout})
@@ -210,6 +216,14 @@ func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, 
 		}
 		return c, nil
 	}
+	var shared benchCaller
+	if mux {
+		var err error
+		if shared, err = dial(); err != nil {
+			fatal(fmt.Errorf("bench dial: %w", err))
+		}
+		defer shared.Close()
+	}
 	per := n / conc
 	lats := make([][]time.Duration, conc)
 	var wg sync.WaitGroup
@@ -219,12 +233,16 @@ func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := dial()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bench dial:", err)
-				return
+			c := shared
+			if c == nil {
+				var err error
+				c, err = dial()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench dial:", err)
+					return
+				}
+				defer c.Close()
 			}
-			defer c.Close()
 			for j := 0; j < per; j++ {
 				t0 := time.Now()
 				if _, err := c.Invoke(fn, payload); err != nil {
@@ -299,7 +317,7 @@ commands:
   stats                     endpoint counters
   invoke <fn> [payload]     call a function
   top [-i interval] [-n refreshes]        live per-function latency table
-  bench <fn> [-n N] [-c C] [-p payload]   load test
+  bench <fn> [-n N] [-c C] [-p payload] [-mux]   load test (-mux: one shared multiplexed connection)
 
 With several -addr endpoints, ping/invoke/bench retry with backoff and
 fail over across them behind per-endpoint circuit breakers; -timeout

@@ -14,6 +14,12 @@
 // /metrics (per-function latency histograms, cold/warm splits, in-flight
 // gauges, per-op wire counters) and a liveness probe on /healthz.
 //
+// Each accepted connection is multiplexed: requests carrying IDs are
+// dispatched to a per-connection worker pool and answered out of order
+// as they complete, so one client connection can keep many invocations
+// in flight. -workers bounds that pool (ID-less peers stay strictly
+// serial).
+//
 // With -chaos the daemon injects faults into its own wire path — dropped
 // connections, injected retryable errors, latency spikes, and whole down
 // phases (see fault.ParseChaos for the spec grammar) — turning any
@@ -129,6 +135,7 @@ func main() {
 	execTimeout := flag.Duration("exec-timeout", 0, "per-invocation execution deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "in-flight drain bound for graceful shutdown on SIGINT/SIGTERM")
 	chaos := flag.String("chaos", "", "inject wire-level faults, e.g. 'drop=0.05,err=0.1,delay=20ms,delayp=0.3,up=10s,down=500ms,seed=1' (empty = off)")
+	workers := flag.Int("workers", 0, "max concurrent requests per connection for multiplexing clients (0 = default)")
 	flag.Parse()
 
 	if *name == "" {
@@ -149,6 +156,7 @@ func main() {
 		Batcher:   ep,
 		Registry:  reg,
 		Endpoints: []*faas.Endpoint{ep},
+		Workers:   *workers,
 	}
 	if *verbose {
 		srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))

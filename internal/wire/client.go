@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a multiplexed protocol client: many concurrent calls share
+// one connection, matched to their responses by request ID, so a slow
+// invocation never head-of-line-blocks the calls behind it. It is safe
+// for concurrent use. Every request is stamped with a unique ID
+// ("<connection-prefix>-<seq>") the server echoes back; a legacy server
+// that strips IDs is handled by matching responses to requests in wire
+// order, which is exact because such servers process serially.
+//
+// The client starts in JSON frames and advertises the binary codec on
+// every request; the first response acking it (Response.Codec) upgrades
+// the connection, so a legacy JSON-only server simply keeps JSON.
+type Client struct {
+	conn    net.Conn
+	gw      *groupWriter // serializes and batches request frames onto conn
+	prefix  string
+	seq     atomic.Int64
+	timeout atomic.Int64 // per-call deadline in nanoseconds, 0 = none
+	binary  atomic.Bool  // server acked the binary codec
+	noBin   atomic.Bool  // pinned to JSON (ForceJSON)
+
+	pmu     sync.Mutex
+	pending map[string]chan *Response // in-flight calls by request ID
+	fifo    []string                  // wire order, for ID-less responses
+	idEcho  bool                      // server echoes IDs: fifo bookkeeping unnecessary
+	broken  error                     // set once the reader dies
+}
+
+// Dial connects to a server, bounding the TCP connect by
+// DefaultDialTimeout.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a server with an explicit connect bound
+// (0 = no bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(conn)
+}
+
+// DialContext connects to a server under ctx: the connect is abandoned
+// when ctx ends, and is additionally bounded by DefaultDialTimeout.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	d := net.Dialer{Timeout: DefaultDialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(conn)
+}
+
+func newClient(conn net.Conn) (*Client, error) {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: request-id seed: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		prefix:  hex.EncodeToString(b[:]),
+		pending: make(map[string]chan *Response),
+	}
+	// Each flush is bounded by the call timeout (when one is set) so a
+	// peer that stops reading surfaces as a write error, not a stuck
+	// flusher; any flush failure severs the connection, because a torn
+	// frame desyncs every call sharing it.
+	c.gw = newGroupWriter(conn, func() time.Time {
+		if d := time.Duration(c.timeout.Load()); d > 0 {
+			return time.Now().Add(d)
+		}
+		return time.Time{}
+	}, func(error) { conn.Close() })
+	go c.readLoop()
+	return c, nil
+}
+
+// SetCallTimeout bounds every subsequent round trip: the request write
+// carries it as a write deadline and the response wait is bounded by a
+// timer, so a dead or wedged peer surfaces as a timeout error instead
+// of blocking forever. 0 (the default) disables the bound.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.timeout.Store(int64(d))
+}
+
+// ForceJSON pins the connection to JSON frames: the client never
+// advertises the binary codec and ignores any ack. This is the
+// mixed-version baseline for benchmarks and interop tests.
+func (c *Client) ForceJSON() {
+	c.noBin.Store(true)
+	c.binary.Store(false)
+}
+
+// Broken reports whether the connection has failed; a broken client
+// fails every call immediately and must be redialed.
+func (c *Client) Broken() bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.broken != nil
+}
+
+// Close closes the connection, failing all in-flight calls.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// readLoop is the connection's single reader: it matches every inbound
+// response to its waiting call and dies — failing all pending calls —
+// on the first transport error. Reads are buffered, so a burst of
+// pipelined responses costs one syscall, not two per frame.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		resp := new(Response)
+		if _, err := ReadFrameCodec(br, resp); err != nil {
+			c.fail(err)
+			return
+		}
+		if resp.Codec == codecBinaryName && !c.noBin.Load() {
+			c.binary.Store(true)
+		}
+		c.deliver(resp)
+	}
+}
+
+// deliver routes one response to its call: by ID when the server echoed
+// one, else to the oldest in-flight call (legacy serial servers answer
+// strictly in wire order). Responses for calls that already timed out
+// are dropped.
+func (c *Client) deliver(resp *Response) {
+	var ch chan *Response
+	c.pmu.Lock()
+	if resp.ID != "" {
+		// The server echoes IDs, so the FIFO fallback will never fire:
+		// stop maintaining it, or it would grow for the connection's
+		// lifetime (by-ID delivery never drains it).
+		if !c.idEcho {
+			c.idEcho = true
+			c.fifo = nil
+		}
+		ch = c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+	} else {
+		for len(c.fifo) > 0 {
+			id := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			if w, ok := c.pending[id]; ok {
+				ch = w
+				delete(c.pending, id)
+				break
+			}
+		}
+	}
+	c.pmu.Unlock()
+	if ch != nil {
+		ch <- resp // buffered: never blocks the reader
+	}
+}
+
+// fail marks the connection broken, stops the write flusher, and wakes
+// every in-flight call.
+func (c *Client) fail(err error) {
+	c.gw.stop()
+	c.pmu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	pend := c.pending
+	c.pending = nil
+	c.fifo = nil
+	c.pmu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// forget abandons an in-flight call (timeout, cancellation, write
+// failure); its response, if one ever arrives, is dropped.
+func (c *Client) forget(id string) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+// brokenErr returns the reader's terminal error.
+func (c *Client) brokenErr() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.broken == nil {
+		return net.ErrClosed
+	}
+	return fmt.Errorf("wire: connection failed: %w", c.broken)
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	return c.roundTripContext(context.Background(), req)
+}
+
+// roundTripContext performs one call over the shared connection. The
+// effective deadline is the earlier of the client's call timeout and
+// ctx's deadline; it bounds the response wait with a timer (and each
+// write-side flush with a write deadline) without disturbing the other
+// calls in flight. Timeout errors wrap context.DeadlineExceeded, which
+// satisfies net.Error, so existing retry classification keeps working.
+func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.ID == "" {
+		b := make([]byte, 0, len(c.prefix)+20)
+		b = append(b, c.prefix...)
+		b = append(b, '-')
+		req.ID = string(strconv.AppendInt(b, c.seq.Add(1), 10))
+	}
+	codec := CodecJSON
+	if c.binary.Load() {
+		codec = CodecBinary
+	} else if !c.noBin.Load() {
+		req.Accept = AcceptBinary
+	}
+	var deadline time.Time
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	ch := make(chan *Response, 1)
+
+	bp := getBuf()
+	frame, err := appendFrame((*bp)[:0], req, codec)
+	if err != nil {
+		putBuf(bp)
+		return nil, err
+	}
+
+	// Register and enqueue under the writer's lock so fifo order matches
+	// wire order — the invariant the legacy ID-less matching relies on.
+	c.gw.mu.Lock()
+	c.pmu.Lock()
+	if err := c.broken; err != nil {
+		c.pmu.Unlock()
+		c.gw.mu.Unlock()
+		putBuf(bp)
+		return nil, fmt.Errorf("wire: connection failed: %w", err)
+	}
+	c.pending[req.ID] = ch
+	if !c.idEcho {
+		c.fifo = append(c.fifo, req.ID)
+	}
+	c.pmu.Unlock()
+	err = c.gw.enqueueLocked(frame)
+	c.gw.mu.Unlock()
+	*bp = frame
+	putBuf(bp)
+	if err != nil {
+		// The writer is dead (a flush failure severs the connection,
+		// since a partial write desyncs the framing for every call
+		// sharing it); drop our registration and fail now instead of
+		// waiting for the reader to notice.
+		c.forget(req.ID)
+		return nil, err
+	}
+
+	var timeoutC <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, c.brokenErr()
+		}
+		if !resp.OK {
+			return resp, &RemoteError{Msg: resp.Error, Retryable: resp.Retryable}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(req.ID)
+		return nil, ctx.Err()
+	case <-timeoutC:
+		c.forget(req.ID)
+		return nil, fmt.Errorf("wire: call %s timed out: %w", req.ID, context.DeadlineExceeded)
+	}
+}
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// PingContext round-trips a no-op frame under ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.roundTripContext(ctx, &Request{Op: OpPing})
+	return err
+}
+
+// Invoke calls fn remotely.
+func (c *Client) Invoke(fn string, payload []byte) ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpInvoke, Fn: fn, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// InvokeContext calls fn remotely under ctx: the ctx deadline (and the
+// client's call timeout) bound the round trip.
+func (c *Client) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	resp, err := c.roundTripContext(ctx, &Request{Op: OpInvoke, Fn: fn, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// InvokeBatch calls fn with several payloads in one frame.
+func (c *Client) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpBatch, Fn: fn, Batch: payloads})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}
+
+// List returns registered function names.
+func (c *Client) List() ([]string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}
+
+// Stats returns per-endpoint counters.
+func (c *Client) Stats() ([]EndpointStats, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// Top returns live per-function latency percentiles and cold/warm counts
+// from the server's metrics registry. Fails if the server was started
+// without one.
+func (c *Client) Top() ([]FnMetrics, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTop})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Top, nil
+}

@@ -1,0 +1,471 @@
+package wire
+
+// Frame codec: every frame on the wire is a 4-byte big-endian length
+// followed by a body in one of two encodings, distinguished by the
+// body's first byte:
+//
+//	'{'      JSON — the original encoding, understood by every peer.
+//	0xC5     binary — an opt-in encoding that carries Payload/Batch
+//	         bytes raw instead of base64 inside JSON, and every hot
+//	         field without reflection.
+//
+// The binary body encodes the common fields natively — JSON never runs
+// on the invoke hot path:
+//
+//	[0]      0xC5 magic
+//	[1]      kind: 0x01 request, 0x02 response
+//	Request  str Op, str ID, str Accept, str Fn, blob Payload, batch
+//	Response [2] flags (bit0 OK, bit1 Retryable, bit2 extension),
+//	         str ID, str Codec, str Error, blob Payload, batch,
+//	         then — only when the extension bit is set — a uvarint
+//	         length and a JSON object carrying the rare list/stats/top
+//	         fields.
+//
+// where str is uvarint length + bytes, blob is the same but with
+// uvarint 0 meaning nil and length+1 otherwise (nil and empty payloads
+// survive a round trip distinctly), and batch is uvarint 0 = nil or
+// count+1 followed by one blob per item. A protocol field added later
+// must be added here too; the codec round-trip test's all-fields guard
+// fails until it is.
+//
+// Negotiation is in-band and backward compatible: a client advertises
+// support with Request.Accept = AcceptBinary (an optional JSON field old
+// servers ignore); a server that understands it replies in binary with
+// Response.Codec set, and the client upgrades the connection from then
+// on. A peer that never advertises — or never acks — keeps speaking
+// JSON, so mixed-version federations interoperate frame by frame.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Codec identifies a frame body encoding.
+type Codec uint8
+
+// Frame body encodings.
+const (
+	CodecJSON Codec = iota
+	CodecBinary
+)
+
+// String returns the codec name as used in negotiation fields.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return codecBinaryName
+	}
+	return "json"
+}
+
+// binMagic starts every binary frame body. It can never begin a JSON
+// body (JSON frames always start with '{'), so the codec is detected
+// per frame with no out-of-band state.
+const binMagic = 0xC5
+
+// AcceptBinary is the Request.Accept value advertising that the sender
+// understands binary response frames.
+const AcceptBinary = "bin"
+
+// codecBinaryName is the Response.Codec value acking binary frames.
+const codecBinaryName = "bin"
+
+// maxPooledBuf caps the capacity of buffers returned to the frame pool,
+// so one oversized frame cannot pin megabytes for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+// framePool recycles encode/decode scratch buffers: the steady-state
+// invoke path allocates no frame buffers at all.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}
+
+// WriteFrame writes v as a length-prefixed JSON frame. The header and
+// body are coalesced into a single Write, so a frame is never torn
+// across a write deadline and a small call costs one syscall.
+func WriteFrame(w io.Writer, v any) error {
+	return WriteFrameCodec(w, v, CodecJSON)
+}
+
+// WriteFrameCodec writes v as one length-prefixed frame in the given
+// codec. CodecBinary is only defined for *Request and *Response; other
+// values fall back to JSON. The whole frame (header + body) is issued
+// as a single Write from a pooled buffer.
+func WriteFrameCodec(w io.Writer, v any, codec Codec) error {
+	bp := getBuf()
+	frame, err := appendFrame((*bp)[:0], v, codec)
+	if err == nil {
+		_, err = w.Write(frame)
+	}
+	*bp = frame
+	putBuf(bp)
+	return err
+}
+
+// appendFrame appends one complete frame — length prefix and encoded
+// body — to dst. This is the shared encode path: WriteFrameCodec issues
+// the result as one Write, and groupWriter queues it for a batched one.
+func appendFrame(dst []byte, v any, codec Codec) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix placeholder
+	var err error
+	if codec == CodecBinary {
+		dst, err = appendBinary(dst, v)
+	} else {
+		var body []byte
+		body, err = json.Marshal(v)
+		if err != nil {
+			err = fmt.Errorf("wire: marshal: %w", err)
+		}
+		dst = append(dst, body...)
+	}
+	if err != nil {
+		return dst[:start], err
+	}
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(n))
+	return dst, nil
+}
+
+// ReadFrame reads one frame into v, auto-detecting the body codec.
+func ReadFrame(r io.Reader, v any) error {
+	_, err := ReadFrameCodec(r, v)
+	return err
+}
+
+// ReadFrameCodec reads one frame into v and reports which codec the
+// peer used — servers mirror it on the response so a binary-speaking
+// client is answered in kind.
+func ReadFrameCodec(r io.Reader, v any) (Codec, error) {
+	c, _, err := readFrameCodecN(r, v)
+	return c, err
+}
+
+// readFrameCodecN is ReadFrameCodec plus the frame's wire size (header
+// and body), so per-request byte accounting stays exact when the server
+// reads through a buffered reader.
+func readFrameCodecN(r io.Reader, v any) (Codec, int64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return CodecJSON, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return CodecJSON, 0, ErrFrameTooLarge
+	}
+	size := int64(4 + n)
+	bp := getBuf()
+	buf := *bp
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*bp = buf
+	defer putBuf(bp)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return CodecJSON, 0, err
+	}
+	if n > 0 && buf[0] == binMagic {
+		return CodecBinary, size, decodeBinary(buf, v)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return CodecJSON, 0, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return CodecJSON, size, nil
+}
+
+// Binary body kinds (second byte, after the magic).
+const (
+	binKindRequest  = 0x01
+	binKindResponse = 0x02
+)
+
+// Response flag bits.
+const (
+	binFlagOK        = 1 << 0
+	binFlagRetryable = 1 << 1
+	binFlagExt       = 1 << 2
+)
+
+// respExt carries the rare Response fields (list/stats/top results) as
+// a JSON extension section, keeping struct-heavy encoding off the
+// invoke hot path.
+type respExt struct {
+	Names []string        `json:"names,omitempty"`
+	Stats []EndpointStats `json:"stats,omitempty"`
+	Top   []FnMetrics     `json:"top,omitempty"`
+}
+
+// appendBinary encodes v (a *Request or *Response) onto buf in the
+// binary framing.
+func appendBinary(buf []byte, v any) ([]byte, error) {
+	switch t := v.(type) {
+	case *Request:
+		buf = append(buf, binMagic, binKindRequest)
+		buf = appendStr(buf, string(t.Op))
+		buf = appendStr(buf, t.ID)
+		buf = appendStr(buf, t.Accept)
+		buf = appendStr(buf, t.Fn)
+		buf = appendBlob(buf, t.Payload)
+		return appendBatch(buf, t.Batch), nil
+	case *Response:
+		var flags byte
+		if t.OK {
+			flags |= binFlagOK
+		}
+		if t.Retryable {
+			flags |= binFlagRetryable
+		}
+		var ext []byte
+		if t.Names != nil || t.Stats != nil || t.Top != nil {
+			var err error
+			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top}); err != nil {
+				return buf, fmt.Errorf("wire: marshal extension: %w", err)
+			}
+			flags |= binFlagExt
+		}
+		buf = append(buf, binMagic, binKindResponse, flags)
+		buf = appendStr(buf, t.ID)
+		buf = appendStr(buf, t.Codec)
+		buf = appendStr(buf, t.Error)
+		buf = appendBlob(buf, t.Payload)
+		buf = appendBatch(buf, t.Batch)
+		if flags&binFlagExt != 0 {
+			buf = binary.AppendUvarint(buf, uint64(len(ext)))
+			buf = append(buf, ext...)
+		}
+		return buf, nil
+	default:
+		return buf, fmt.Errorf("wire: binary codec unsupported for %T", v)
+	}
+}
+
+// appendStr encodes one string as uvarint length + bytes.
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// takeStrBytes decodes one appendStr section as a view into the frame
+// buffer — valid only until the buffer returns to the pool, so callers
+// must intern or copy before keeping it.
+func takeStrBytes(b []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("wire: binary frame: bad string length")
+	}
+	b = b[k:]
+	if uint64(len(b)) < n {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	return b[:n], b[n:], nil
+}
+
+// takeStr decodes one appendStr section, copying out of the pooled
+// frame buffer.
+func takeStr(b []byte) (string, []byte, error) {
+	s, rest, err := takeStrBytes(b)
+	return string(s), rest, err
+}
+
+// appendBatch encodes a batch: uvarint 0 = nil, else count+1 followed
+// by one blob per item.
+func appendBatch(buf []byte, batch [][]byte) []byte {
+	if batch == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(batch))+1)
+	for _, b := range batch {
+		buf = appendBlob(buf, b)
+	}
+	return buf
+}
+
+// takeBatch decodes one appendBatch section.
+func takeBatch(b []byte) ([][]byte, []byte, error) {
+	count, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("wire: binary frame: bad batch count")
+	}
+	b = b[k:]
+	if count == 0 {
+		return nil, b, nil
+	}
+	count--
+	// Every item costs at least one byte, so a count beyond the
+	// remaining bytes is corrupt — reject it before allocating.
+	if count > uint64(len(b)) {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	batch := make([][]byte, count)
+	var err error
+	for i := range batch {
+		if batch[i], b, err = takeBlob(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	return batch, b, nil
+}
+
+// appendBlob encodes one byte slice, distinguishing nil from empty:
+// uvarint 0 means nil, else length+1 followed by the bytes.
+func appendBlob(buf, b []byte) []byte {
+	if b == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(b))+1)
+	return append(buf, b...)
+}
+
+// takeBlob decodes one appendBlob section. The returned slice is a copy
+// — the input buffer goes back to the pool after decoding.
+func takeBlob(b []byte) (blob, rest []byte, err error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("wire: binary frame: bad blob length")
+	}
+	b = b[k:]
+	if n == 0 {
+		return nil, b, nil
+	}
+	n--
+	if uint64(len(b)) < n {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	return bytes.Clone(b[:n]), b[n:], nil
+}
+
+// decodeBinary parses a binary frame body (magic byte already verified)
+// into v, which must be *Request or *Response.
+func decodeBinary(body []byte, v any) error {
+	b := body[1:]
+	if len(b) == 0 {
+		return io.ErrUnexpectedEOF
+	}
+	kind := b[0]
+	b = b[1:]
+	var err error
+	switch t := v.(type) {
+	case *Request:
+		if kind != binKindRequest {
+			return fmt.Errorf("wire: binary frame: kind %#x is not a request", kind)
+		}
+		var op []byte
+		if op, b, err = takeStrBytes(b); err != nil {
+			return err
+		}
+		t.Op = internOp(op)
+		if t.ID, b, err = takeStr(b); err != nil {
+			return err
+		}
+		var accept []byte
+		if accept, b, err = takeStrBytes(b); err != nil {
+			return err
+		}
+		t.Accept = internAccept(accept)
+		if t.Fn, b, err = takeStr(b); err != nil {
+			return err
+		}
+		if t.Payload, b, err = takeBlob(b); err != nil {
+			return err
+		}
+		t.Batch, _, err = takeBatch(b)
+		return err
+	case *Response:
+		if kind != binKindResponse {
+			return fmt.Errorf("wire: binary frame: kind %#x is not a response", kind)
+		}
+		if len(b) == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		flags := b[0]
+		b = b[1:]
+		t.OK = flags&binFlagOK != 0
+		t.Retryable = flags&binFlagRetryable != 0
+		if t.ID, b, err = takeStr(b); err != nil {
+			return err
+		}
+		var codec []byte
+		if codec, b, err = takeStrBytes(b); err != nil {
+			return err
+		}
+		t.Codec = internAccept(codec)
+		if t.Error, b, err = takeStr(b); err != nil {
+			return err
+		}
+		if t.Payload, b, err = takeBlob(b); err != nil {
+			return err
+		}
+		if t.Batch, b, err = takeBatch(b); err != nil {
+			return err
+		}
+		t.Names, t.Stats, t.Top = nil, nil, nil
+		if flags&binFlagExt != 0 {
+			n, k := binary.Uvarint(b)
+			if k <= 0 {
+				return fmt.Errorf("wire: binary frame: bad extension length")
+			}
+			b = b[k:]
+			if uint64(len(b)) < n {
+				return io.ErrUnexpectedEOF
+			}
+			var ext respExt
+			if err := json.Unmarshal(b[:n], &ext); err != nil {
+				return fmt.Errorf("wire: unmarshal extension: %w", err)
+			}
+			t.Names, t.Stats, t.Top = ext.Names, ext.Stats, ext.Top
+		}
+		return nil
+	default:
+		return fmt.Errorf("wire: binary codec unsupported for %T", v)
+	}
+}
+
+// internOp maps the protocol's known ops back to their constants so
+// decoding a request allocates no string for the op field.
+func internOp(s []byte) Op {
+	switch string(s) { // compiled without allocating
+	case string(OpInvoke):
+		return OpInvoke
+	case string(OpBatch):
+		return OpBatch
+	case string(OpPing):
+		return OpPing
+	case string(OpList):
+		return OpList
+	case string(OpStats):
+		return OpStats
+	case string(OpTop):
+		return OpTop
+	}
+	return Op(s)
+}
+
+// internAccept interns the one defined codec name ("" and "bin" cover
+// every well-formed peer).
+func internAccept(s []byte) string {
+	if string(s) == AcceptBinary {
+		return AcceptBinary
+	}
+	return string(s)
+}

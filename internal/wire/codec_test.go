@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// fullRequest returns a Request with every field set to a non-zero
+// value. requireAllFieldsSet keeps it honest when fields are added.
+func fullRequest() *Request {
+	return &Request{
+		Op:      OpInvoke,
+		ID:      "req-1",
+		Accept:  AcceptBinary,
+		Fn:      "echo",
+		Payload: []byte{0x00, 0xC5, '{', 0xFF}, // bytes that would confuse sniffing if mishandled
+		Batch:   [][]byte{{1}, {}, {2, 3}},
+	}
+}
+
+// fullResponse returns a Response with every field set.
+func fullResponse() *Response {
+	return &Response{
+		OK:        true,
+		ID:        "req-1",
+		Codec:     codecBinaryName,
+		Error:     "partial failure",
+		Retryable: true,
+		Payload:   bytes.Repeat([]byte{0xC5}, 64),
+		Batch:     [][]byte{{9, 8}, {7}},
+		Names:     []string{"echo", "upper"},
+		Stats: []EndpointStats{{
+			Name: "ep0", Capacity: 4, Running: 1, Invocations: 10, ColdStarts: 2, WarmHits: 8,
+		}},
+		Top: []FnMetrics{{
+			Endpoint: "ep0", Fn: "echo", Count: 10,
+			P50: 0.001, P90: 0.002, P99: 0.003, ColdStarts: 2, WarmHits: 8,
+		}},
+	}
+}
+
+// requireAllFieldsSet fails if any field of v is its zero value — the
+// guard that makes the round-trip test prove EVERY protocol field
+// survives both codecs, including fields added after this test was
+// written (adding a field without extending the fixtures fails here).
+func requireAllFieldsSet(t *testing.T, v any) {
+	t.Helper()
+	rv := reflect.ValueOf(v).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		if rv.Field(i).IsZero() {
+			t.Fatalf("%s fixture leaves field %s at its zero value; extend the fixture so the codec round-trip covers it",
+				rv.Type().Name(), rv.Type().Field(i).Name)
+		}
+	}
+}
+
+// TestCodecRoundTripAllFields proves both codecs round-trip every
+// Request and Response field bit for bit.
+func TestCodecRoundTripAllFields(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		t.Run(codec.String(), func(t *testing.T) {
+			req := fullRequest()
+			requireAllFieldsSet(t, req)
+			var buf bytes.Buffer
+			if err := WriteFrameCodec(&buf, req, codec); err != nil {
+				t.Fatal(err)
+			}
+			gotReq := new(Request)
+			gotCodec, err := ReadFrameCodec(&buf, gotReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCodec != codec {
+				t.Fatalf("detected codec %v, wrote %v", gotCodec, codec)
+			}
+			if !reflect.DeepEqual(req, gotReq) {
+				t.Fatalf("request round trip mismatch:\nin:  %+v\nout: %+v", req, gotReq)
+			}
+
+			resp := fullResponse()
+			requireAllFieldsSet(t, resp)
+			buf.Reset()
+			if err := WriteFrameCodec(&buf, resp, codec); err != nil {
+				t.Fatal(err)
+			}
+			gotResp := new(Response)
+			if _, err := ReadFrameCodec(&buf, gotResp); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp, gotResp) {
+				t.Fatalf("response round trip mismatch:\nin:  %+v\nout: %+v", resp, gotResp)
+			}
+		})
+	}
+}
+
+// TestBinaryCodecPreservesNilVsEmpty: the blob sections distinguish a
+// nil payload/batch from an empty one, which JSON-with-omitempty cannot.
+func TestBinaryCodecPreservesNilVsEmpty(t *testing.T) {
+	cases := []Request{
+		{Op: OpInvoke, ID: "a", Payload: nil, Batch: nil},
+		{Op: OpInvoke, ID: "b", Payload: []byte{}, Batch: [][]byte{}},
+		{Op: OpInvoke, ID: "c", Payload: []byte{}, Batch: [][]byte{nil, {}}},
+	}
+	for _, in := range cases {
+		var buf bytes.Buffer
+		if err := WriteFrameCodec(&buf, &in, CodecBinary); err != nil {
+			t.Fatal(err)
+		}
+		out := new(Request)
+		if _, err := ReadFrameCodec(&buf, out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&in, out) {
+			t.Fatalf("nil/empty not preserved:\nin:  %#v\nout: %#v", in, *out)
+		}
+	}
+}
+
+// TestBinaryCodecSmallerForLargePayloads is the point of the codec: raw
+// payload bytes instead of base64-in-JSON.
+func TestBinaryCodecSmallerForLargePayloads(t *testing.T) {
+	req := &Request{Op: OpInvoke, ID: "big", Fn: "echo", Payload: bytes.Repeat([]byte{0xAB}, 64<<10)}
+	var js, bin bytes.Buffer
+	if err := WriteFrameCodec(&js, req, CodecJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameCodec(&bin, req, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Fatalf("binary frame %d B not smaller than JSON frame %d B", bin.Len(), js.Len())
+	}
+	// Base64 inflates 64 KiB to ~85 KiB; binary should be within ~1% of raw.
+	if bin.Len() > 65<<10 {
+		t.Fatalf("binary frame %d B for a 64 KiB payload", bin.Len())
+	}
+}
+
+// countingWriter tallies Write calls to prove frames are coalesced.
+type countingWriter struct {
+	writes int
+	bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.Buffer.Write(p)
+}
+
+// TestWriteFrameSingleWrite: header and body must go out in ONE Write,
+// so a frame is never torn across a deadline and a small call costs one
+// syscall.
+func TestWriteFrameSingleWrite(t *testing.T) {
+	for _, codec := range []Codec{CodecJSON, CodecBinary} {
+		var w countingWriter
+		if err := WriteFrameCodec(&w, fullRequest(), codec); err != nil {
+			t.Fatal(err)
+		}
+		if w.writes != 1 {
+			t.Fatalf("%v frame issued %d writes, want 1", codec, w.writes)
+		}
+		// And the coalesced frame must still parse.
+		out := new(Request)
+		if _, err := ReadFrameCodec(&w.Buffer, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBinaryFrameTooLarge: the size cap applies to binary frames too.
+func TestBinaryFrameTooLarge(t *testing.T) {
+	req := &Request{Op: OpInvoke, Payload: make([]byte, MaxFrame+1)}
+	var buf bytes.Buffer
+	if err := WriteFrameCodec(&buf, req, CodecBinary); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestBinaryDecodeTruncated: a truncated binary body errors instead of
+// panicking or fabricating fields.
+func TestBinaryDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameCodec(&buf, fullRequest(), CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 5; cut < len(whole)-1; cut += 7 {
+		// Rewrite the length prefix to match the truncated body, so the
+		// decoder's own bounds checks are exercised, not just short reads.
+		trunc := append([]byte(nil), whole[:cut]...)
+		binary.BigEndian.PutUint32(trunc[:4], uint32(cut-4))
+		out := new(Request)
+		if err := ReadFrame(bytes.NewReader(trunc), out); err == nil {
+			t.Fatalf("truncated binary frame (cut at %d/%d) accepted", cut, len(whole))
+		}
+	}
+}

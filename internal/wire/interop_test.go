@@ -1,0 +1,242 @@
+package wire
+
+// Mixed-version interop: the regression guard for codec negotiation.
+// A "legacy" peer here speaks the original protocol exactly — JSON
+// frames only, no Accept advertisement, serial request handling, and
+// (for the oldest vintage) no ID echo. New code must degrade to plain
+// JSON against it in both directions.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// legacyRequest mirrors the pre-binary Request schema: no Accept field,
+// so an advertised codec is silently dropped the way an old server's
+// json.Unmarshal would drop it.
+type legacyRequest struct {
+	Op      string   `json:"op"`
+	ID      string   `json:"id,omitempty"`
+	Fn      string   `json:"fn,omitempty"`
+	Payload []byte   `json:"payload,omitempty"`
+	Batch   [][]byte `json:"batch,omitempty"`
+}
+
+// legacyResponse mirrors the pre-binary Response schema: no Codec field.
+type legacyResponse struct {
+	OK      bool   `json:"ok"`
+	ID      string `json:"id,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// readLegacyFrame / writeLegacyFrame speak raw length-prefixed JSON the
+// way the seed implementation did, independent of the new codec path.
+func readLegacyFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+func writeLegacyFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// startLegacyServer runs a JSON-only echo server: serial per
+// connection, upper-cases invoke payloads, echoes IDs only when
+// echoIDs is set (the oldest peers predate the ID field entirely).
+func startLegacyServer(t *testing.T, echoIDs bool) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	var wg sync.WaitGroup
+	t.Cleanup(wg.Wait)
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				for {
+					var req legacyRequest
+					if err := readLegacyFrame(conn, &req); err != nil {
+						return
+					}
+					resp := legacyResponse{OK: true, Payload: bytes.ToUpper(req.Payload)}
+					if echoIDs {
+						resp.ID = req.ID
+					}
+					if err := writeLegacyFrame(conn, &resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// TestNewClientAgainstJSONOnlyServer: with no binary ack the client
+// must stay on JSON forever and still work — including concurrent
+// calls, which a serial ID-echoing server answers in order.
+func TestNewClientAgainstJSONOnlyServer(t *testing.T) {
+	addr := startLegacyServer(t, true)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		out, err := c.Invoke("upper", []byte("mixed"))
+		if err != nil || string(out) != "MIXED" {
+			t.Fatalf("call %d: %q, %v", i, out, err)
+		}
+		if c.binary.Load() {
+			t.Fatal("client upgraded to binary against a JSON-only server")
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := c.Invoke("upper", []byte("conc"))
+			if err != nil || string(out) != "CONC" {
+				t.Errorf("concurrent legacy call: %q, %v", out, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNewClientAgainstIDStrippingServer: the oldest vintage neither
+// echoes IDs nor upgrades codecs; responses must still match calls via
+// wire-order FIFO.
+func TestNewClientAgainstIDStrippingServer(t *testing.T) {
+	addr := startLegacyServer(t, false)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, in := range []string{"a", "bb", "ccc"} {
+		out, err := c.Invoke("upper", []byte(in))
+		if err != nil || string(out) != string(bytes.ToUpper([]byte(in))) {
+			t.Fatalf("invoke(%q): %q, %v", in, out, err)
+		}
+	}
+}
+
+// TestOldClientAgainstNewServer: raw legacy JSON frames (no Accept)
+// must be answered with plain JSON frames, byte-verifiably.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	_, addr := startServer(t) // the new concurrent server
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 3; i++ {
+		req := legacyRequest{Op: "invoke", ID: "old-1", Fn: "upper", Payload: []byte("hi")}
+		if err := writeLegacyFrame(conn, &req); err != nil {
+			t.Fatal(err)
+		}
+		// Read the raw frame and check the body is JSON, not binary.
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatal(err)
+		}
+		if len(body) == 0 || body[0] != '{' {
+			t.Fatalf("new server answered a legacy JSON request with a non-JSON frame: % x", body[:min(8, len(body))])
+		}
+		var resp legacyResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || string(resp.Payload) != "HI" || resp.ID != "old-1" {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+}
+
+// TestBinaryNegotiationUpgrade: new client against new server starts on
+// JSON, is acked, and speaks binary from the second request on — and
+// the responses keep working across the switch.
+func TestBinaryNegotiationUpgrade(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.binary.Load() {
+		t.Fatal("client assumed binary before any ack")
+	}
+	out, err := c.Invoke("upper", []byte("first"))
+	if err != nil || string(out) != "FIRST" {
+		t.Fatalf("first call: %q, %v", out, err)
+	}
+	if !c.binary.Load() {
+		t.Fatal("client did not upgrade after server ack")
+	}
+	out, err = c.Invoke("upper", []byte("second"))
+	if err != nil || string(out) != "SECOND" {
+		t.Fatalf("binary call: %q, %v", out, err)
+	}
+	if batch, err := c.InvokeBatch("upper", [][]byte{[]byte("x"), []byte("y")}); err != nil ||
+		len(batch) != 2 || string(batch[0]) != "X" || string(batch[1]) != "Y" {
+		t.Fatalf("binary batch: %q, %v", batch, err)
+	}
+}
+
+// TestForceJSONNeverUpgrades: the pinned-JSON escape hatch for
+// benchmarks and debugging.
+func TestForceJSONNeverUpgrades(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ForceJSON()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Invoke("echo", []byte("j")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.binary.Load() {
+		t.Fatal("ForceJSON client upgraded to binary")
+	}
+}

@@ -1,0 +1,287 @@
+package wire
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/fault"
+	"continuum/internal/metrics"
+	"continuum/internal/retry"
+)
+
+// TestMultiplexedOutOfOrder: a slow call and a fast call share one
+// connection; the fast call must complete while the slow one is still
+// in flight — the head-of-line block the multiplexed protocol removes.
+func TestMultiplexedOutOfOrder(t *testing.T) {
+	srv := echoServer(t, "mux") // has "slow" (150ms) and "echo"
+	addr := startServerOn(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	slowDone := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke("slow", []byte("s"))
+		slowDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // slow call is on the wire
+
+	start := time.Now()
+	out, err := c.Invoke("echo", []byte("fast"))
+	fastTook := time.Since(start)
+	if err != nil || string(out) != "fast" {
+		t.Fatalf("fast call: %q, %v", out, err)
+	}
+	if fastTook > 100*time.Millisecond {
+		t.Fatalf("fast call took %v behind a 150ms slow call: still head-of-line blocked", fastTook)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow call: %v", err)
+	}
+}
+
+// TestMultiplexHammer is the -race correctness gate for multiplexing:
+// N goroutines × M invokes over ONE client against a chaotic server
+// (injected latency jitter and retryable errors). Every call must get
+// an answer, and every successful echo must return its own payload —
+// which proves responses are matched to the right requests even when
+// they complete out of order.
+func TestMultiplexHammer(t *testing.T) {
+	const workers, calls = 16, 40
+	reg := faas.NewRegistry()
+	reg.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	ep := faas.NewEndpoint(faas.EndpointConfig{Name: "hammer", Capacity: 32}, reg)
+	srv := &Server{
+		Invoker: ep, Registry: reg, Endpoints: []*faas.Endpoint{ep},
+		// Errors and delay jitter, but no drops: every call must complete.
+		Chaos: fault.NewChaos(fault.ChaosSpec{ErrProb: 0.2, DelayProb: 0.2, DelayMean: time.Millisecond, Seed: 11}),
+	}
+	addr := startServerOn(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*calls)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				want := fmt.Sprintf("payload-%d-%d", w, i)
+				out, err := c.Invoke("echo", []byte(want))
+				switch {
+				case err == nil && string(out) != want:
+					errs <- fmt.Sprintf("call %s answered with %q: response matched to the wrong request", want, out)
+				case err != nil && !IsRetryable(err):
+					errs <- fmt.Sprintf("call %s: unexpected terminal error %v", want, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestClientFailsFastAfterConnDeath: when the server dies, in-flight
+// calls fail promptly and later calls fail immediately instead of
+// hanging on a dead multiplexer.
+func TestClientFailsFastAfterConnDeath(t *testing.T) {
+	srv := echoServer(t, "mortal")
+	addr := startServerOn(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Invoke("echo", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := c.Invoke("slow", nil) // 150ms: still running when the server dies
+		inFlight <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Shutdown(time.Millisecond) // grace far below the 150ms handler: force-cut
+
+	select {
+	case err := <-inFlight:
+		if err == nil {
+			t.Fatal("in-flight call succeeded after server death")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight call hung after server death")
+	}
+	start := time.Now()
+	if _, err := c.Invoke("echo", nil); err == nil {
+		t.Fatal("call on dead connection succeeded")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("call on dead connection did not fail fast")
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after connection death")
+	}
+}
+
+// TestServerInflightGauge: wire_inflight must track requests currently
+// being processed and return to zero when the server goes idle.
+func TestServerInflightGauge(t *testing.T) {
+	reg := faas.NewRegistry()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	reg.Register("hold", func(p []byte) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return p, nil
+	})
+	ep := faas.NewEndpoint(faas.EndpointConfig{Name: "gaugebox", Capacity: 8}, reg)
+	m := metrics.NewRegistry()
+	srv := &Server{Invoker: ep, Registry: reg, Endpoints: []*faas.Endpoint{ep}, Metrics: m}
+	addr := startServerOn(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const held = 3
+	var wg sync.WaitGroup
+	for i := 0; i < held; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Invoke("hold", nil); err != nil {
+				t.Errorf("hold: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < held; i++ {
+		<-started // all three are inside their handlers
+	}
+	if got := m.Gauge("wire_inflight").Value(); got != held {
+		t.Fatalf("wire_inflight = %v with %d requests processing", got, held)
+	}
+	close(release)
+	wg.Wait()
+	deadline := time.Now().Add(time.Second)
+	for m.Gauge("wire_inflight").Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("wire_inflight = %v after all requests finished", m.Gauge("wire_inflight").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReliableClientPoolReuse: the pooled client must reuse warm
+// connections instead of dialing per call, and count the reuses.
+func TestReliableClientPoolReuse(t *testing.T) {
+	srv := echoServer(t, "poolbox")
+	addr := startServerOn(t, srv)
+	m := metrics.NewRegistry()
+	rc, err := NewReliableClient(ReliableConfig{
+		Addrs:    []string{addr},
+		PoolSize: 2,
+		Metrics:  m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := rc.Invoke("echo", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First two calls dial the two pool slots; the rest must reuse.
+	if got := m.Counter("wire_conn_reuse_total").Value(); got != n-2 {
+		t.Fatalf("wire_conn_reuse_total = %d, want %d", got, n-2)
+	}
+}
+
+// TestReliableClientPoolRedialsBrokenSlot: a broken pooled connection
+// is replaced in place, without poisoning the other slot.
+func TestReliableClientPoolRedialsBrokenSlot(t *testing.T) {
+	srv := echoServer(t, "redialbox")
+	addr := startServerOn(t, srv)
+	rc, err := NewReliableClient(ReliableConfig{
+		Addrs:    []string{addr},
+		PoolSize: 2,
+		Retry:    retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := rc.Invoke("echo", []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sever both pooled connections out from under the client.
+	for _, ep := range rc.eps {
+		ep.mu.Lock()
+		for _, c := range ep.conns {
+			if c != nil {
+				c.conn.Close()
+			}
+		}
+		ep.mu.Unlock()
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := rc.Invoke("echo", []byte("b")); err != nil {
+			t.Fatalf("invoke %d after severed pool: %v", i, err)
+		}
+	}
+}
+
+// TestDrainWaitsForPipelinedCalls: a drain must not cut a connection
+// with several multiplexed calls in flight — all of them complete.
+func TestDrainWaitsForPipelinedCalls(t *testing.T) {
+	srv := echoServer(t, "drainmux")
+	addr := startServerOn(t, srv)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 4
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := c.Invoke("slow", []byte("x")) // 150ms each, concurrent
+			results <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // all n are in flight
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(2 * time.Second)
+		close(done)
+	}()
+	for i := 0; i < n; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("pipelined call lost during drain: %v", err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Shutdown hung")
+	}
+}

@@ -16,11 +16,21 @@ import (
 // breaker is refusing traffic.
 var ErrAllBreakersOpen = errors.New("wire: all endpoint breakers open")
 
+// DefaultPoolSize is the number of pooled connections kept per endpoint
+// when ReliableConfig.PoolSize is zero. Each connection is itself
+// multiplexed, so a small pool is enough to spread load while keeping
+// failover and concurrency from paying per-call dials.
+const DefaultPoolSize = 2
+
 // ReliableConfig parameterizes a ReliableClient.
 type ReliableConfig struct {
 	// Addrs lists the federation's endpoint addresses. Attempts rotate
 	// across them, so a retry after a failure naturally fails over.
 	Addrs []string
+	// PoolSize is how many multiplexed connections to keep per endpoint
+	// (0 = DefaultPoolSize). Calls round-robin across the pool; broken
+	// connections are redialed in place.
+	PoolSize int
 	// Retry is the backoff policy (zero value → retry defaults). Its
 	// Retryable classifier defaults to IsRetryable plus
 	// ErrAllBreakersOpen.
@@ -38,25 +48,41 @@ type ReliableConfig struct {
 	//	wire_client_retries_total     attempts after the first
 	//	wire_client_failovers_total   attempts on a different endpoint
 	//	                              than the previous try
+	//	wire_conn_reuse_total         calls served by an already-open
+	//	                              pooled connection (vs a fresh dial)
 	Metrics *metrics.Registry
 }
 
-// repEndpoint is one endpoint's client-side state: a lazily dialed,
-// reusable connection and the circuit breaker guarding it.
+// repEndpoint is one endpoint's client-side state: a small pool of
+// lazily dialed, reusable multiplexed connections and the circuit
+// breaker guarding them.
 type repEndpoint struct {
 	addr    string
 	breaker *retry.Breaker
+	reuse   *metrics.Counter // nil without a registry
 
-	mu     sync.Mutex
-	client *Client
+	mu    sync.Mutex
+	conns []*Client // fixed-size pool; nil slots are dialed on demand
+	next  int       // round-robin cursor
 }
 
-// get returns the endpoint's connection, dialing if needed.
+// get returns a pooled connection, dialing (or redialing a broken
+// slot) if needed. Slots rotate round-robin so concurrent calls spread
+// across the pool.
 func (e *repEndpoint) get(ctx context.Context, callTimeout time.Duration) (*Client, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.client != nil {
-		return e.client, nil
+	idx := e.next % len(e.conns)
+	e.next++
+	if c := e.conns[idx]; c != nil {
+		if !c.Broken() {
+			if e.reuse != nil {
+				e.reuse.Inc()
+			}
+			return c, nil
+		}
+		c.Close()
+		e.conns[idx] = nil
 	}
 	c, err := DialContext(ctx, e.addr)
 	if err != nil {
@@ -65,27 +91,31 @@ func (e *repEndpoint) get(ctx context.Context, callTimeout time.Duration) (*Clie
 	if callTimeout > 0 {
 		c.SetCallTimeout(callTimeout)
 	}
-	e.client = c
+	e.conns[idx] = c
 	return c, nil
 }
 
-// discard drops a broken connection so the next attempt redials. Only
-// the exact client that failed is discarded — a concurrent caller may
+// discard drops a broken connection so its slot redials. Only the
+// exact client that failed is discarded — a concurrent caller may
 // already have replaced it.
 func (e *repEndpoint) discard(c *Client) {
 	e.mu.Lock()
-	if e.client == c {
-		e.client = nil
+	for i, have := range e.conns {
+		if have == c {
+			e.conns[i] = nil
+			break
+		}
 	}
 	e.mu.Unlock()
 	c.Close()
 }
 
 // ReliableClient invokes functions across a federation of endpoints with
-// retry (exponential backoff, full jitter), failover, and per-endpoint
-// circuit breakers. It is safe for concurrent use. A transport failure
-// or a server response marked retryable moves the attempt to the next
-// endpoint; definitive application errors return immediately.
+// retry (exponential backoff, full jitter), failover, per-endpoint
+// circuit breakers, and a per-endpoint pool of multiplexed connections.
+// It is safe for concurrent use. A transport failure or a server
+// response marked retryable moves the attempt to the next endpoint;
+// definitive application errors return immediately.
 type ReliableClient struct {
 	cfg ReliableConfig
 	eps []*repEndpoint
@@ -102,10 +132,16 @@ func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("wire: reliable client needs at least one address")
 	}
+	pool := cfg.PoolSize
+	if pool <= 0 {
+		pool = DefaultPoolSize
+	}
 	r := &ReliableClient{cfg: cfg}
+	var reuse *metrics.Counter
 	if cfg.Metrics != nil {
 		r.retries = cfg.Metrics.Counter("wire_client_retries_total")
 		r.failovers = cfg.Metrics.Counter("wire_client_failovers_total")
+		reuse = cfg.Metrics.Counter("wire_conn_reuse_total")
 	}
 	for _, addr := range cfg.Addrs {
 		bc := cfg.Breaker
@@ -120,7 +156,12 @@ func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
 				}
 			}
 		}
-		r.eps = append(r.eps, &repEndpoint{addr: addr, breaker: retry.NewBreaker(bc)})
+		r.eps = append(r.eps, &repEndpoint{
+			addr:    addr,
+			breaker: retry.NewBreaker(bc),
+			reuse:   reuse,
+			conns:   make([]*Client, pool),
+		})
 	}
 	return r, nil
 }
@@ -224,15 +265,18 @@ func (r *ReliableClient) BreakerStates() map[string]retry.State {
 	return out
 }
 
-// Close closes every endpoint connection.
+// Close closes every pooled connection.
 func (r *ReliableClient) Close() error {
 	var first error
 	for _, ep := range r.eps {
 		ep.mu.Lock()
-		c := ep.client
-		ep.client = nil
+		conns := ep.conns
+		ep.conns = make([]*Client, len(ep.conns))
 		ep.mu.Unlock()
-		if c != nil {
+		for _, c := range conns {
+			if c == nil {
+				continue
+			}
 			if err := c.Close(); err != nil && first == nil {
 				first = fmt.Errorf("wire: close %s: %w", ep.addr, err)
 			}

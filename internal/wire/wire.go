@@ -1,25 +1,29 @@
 // Package wire exposes the faas layer over TCP with a length-prefixed
-// JSON frame protocol, giving the reproduction a real multi-process mode:
-// continuumd serves endpoints, continuumctl (or any Client) invokes
-// functions across them. Frames are capped to guard against runaway
-// peers; connections handle requests sequentially while the server
-// accepts connections concurrently.
+// frame protocol (JSON, with an opt-in binary codec — see codec.go),
+// giving the reproduction a real multi-process mode: continuumd serves
+// endpoints, continuumctl (or any Client) invokes functions across
+// them. Frames are capped to guard against runaway peers.
+//
+// The protocol is multiplexed: clients pipeline many calls over one
+// connection, and the server dispatches each connection's requests to a
+// bounded worker pool, writing responses as they complete — out of
+// order when a slow function would otherwise head-of-line-block the
+// calls behind it. Responses are matched to requests by ID. Requests
+// without an ID (legacy peers, which never pipeline) are processed
+// strictly serially, preserving the old in-order contract.
 //
 // Observability: clients stamp every request with a generated ID which
 // the server echoes on the response (old peers that omit or drop the
 // field interoperate unchanged — it is a plain optional JSON field).
 // A server given a metrics registry counts requests, errors, and frame
-// bytes by op; given a logger it emits one structured line per request
-// carrying the request ID, so a slow or failing invocation can be
-// correlated across client and server logs.
+// bytes by op, and tracks in-flight requests as a gauge; given a logger
+// it emits one structured line per request carrying the request ID, so
+// a slow or failing invocation can be correlated across client and
+// server logs.
 package wire
 
 import (
-	"context"
-	"crypto/rand"
-	"encoding/binary"
-	"encoding/hex"
-	"encoding/json"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -43,6 +47,12 @@ const MaxFrame = 16 << 20
 // address fails fast instead of hanging the caller for the kernel's
 // minutes-long SYN retry budget.
 const DefaultDialTimeout = 5 * time.Second
+
+// DefaultConnWorkers bounds concurrent request processing per
+// connection when Server.Workers is zero. Capacity-limited endpoints
+// bound actual handler concurrency below this; the pool only caps how
+// many requests one connection may have in flight inside the server.
+const DefaultConnWorkers = 64
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
@@ -94,10 +104,13 @@ const (
 
 // Request is a client frame. ID, when set, is echoed verbatim on the
 // response; peers predating the field simply never see it (optional JSON
-// both ways), so mixed-version federations keep working.
+// both ways), so mixed-version federations keep working. Accept, when
+// set to AcceptBinary, advertises that the sender understands binary
+// response frames — another optional field old servers ignore.
 type Request struct {
 	Op      Op       `json:"op"`
 	ID      string   `json:"id,omitempty"`
+	Accept  string   `json:"accept,omitempty"`
 	Fn      string   `json:"fn,omitempty"`
 	Payload []byte   `json:"payload,omitempty"`
 	Batch   [][]byte `json:"batch,omitempty"`
@@ -129,11 +142,14 @@ type FnMetrics struct {
 
 // Response is a server frame. ID echoes the request's ID. Retryable,
 // when set on an error response, marks the failure as transient — the
-// client may safely retry the request on this or another endpoint. Like
-// ID it is an optional JSON field, so mixed-version peers interoperate.
+// client may safely retry the request on this or another endpoint.
+// Codec acks the frame encoding the server chose (set when it answers
+// in binary), upgrading the connection for codec-aware clients. Like ID
+// these are optional JSON fields, so mixed-version peers interoperate.
 type Response struct {
 	OK        bool            `json:"ok"`
 	ID        string          `json:"id,omitempty"`
+	Codec     string          `json:"codec,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Retryable bool            `json:"retryable,omitempty"`
 	Payload   []byte          `json:"payload,omitempty"`
@@ -141,44 +157,6 @@ type Response struct {
 	Names     []string        `json:"names,omitempty"`
 	Stats     []EndpointStats `json:"stats,omitempty"`
 	Top       []FnMetrics     `json:"top,omitempty"`
-}
-
-// WriteFrame writes v as a 4-byte big-endian length followed by JSON.
-func WriteFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
-	}
-	if len(body) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
-}
-
-// ReadFrame reads one frame into v.
-func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return err
-	}
-	if err := json.Unmarshal(body, v); err != nil {
-		return fmt.Errorf("wire: unmarshal: %w", err)
-	}
-	return nil
 }
 
 // Server serves the protocol over accepted connections.
@@ -190,11 +168,16 @@ type Server struct {
 	Registry  *faas.Registry
 	Endpoints []*faas.Endpoint
 
+	// Workers bounds concurrent request processing per connection
+	// (0 = DefaultConnWorkers). Requests without an ID — legacy peers,
+	// which never pipeline — are always processed serially.
+	Workers int
+
 	// Metrics, when set, receives per-op counters (wire_requests_total,
 	// wire_errors_total, wire_request_bytes_total,
-	// wire_response_bytes_total, all labeled {op}) and powers the top op.
-	// Share it with the endpoints' SetMetrics so one /metrics exposition
-	// covers the whole daemon.
+	// wire_response_bytes_total, all labeled {op}), the wire_inflight
+	// gauge, and powers the top op. Share it with the endpoints'
+	// SetMetrics so one /metrics exposition covers the whole daemon.
 	Metrics *metrics.Registry
 	// Logger, when set, emits one structured line per request with the
 	// request ID, op, function, outcome, and wall-clock duration.
@@ -208,6 +191,9 @@ type Server struct {
 	// reliability tests (continuumd -chaos).
 	Chaos *fault.Chaos
 
+	inflightOnce sync.Once
+	inflight     *metrics.Gauge // wire_inflight, nil without Metrics
+
 	mu       sync.Mutex
 	lis      net.Listener
 	closed   bool
@@ -216,27 +202,30 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// countConn wraps a connection and tallies bytes in each direction so
-// per-request frame sizes can be attributed without changing the frame
-// codec. Only the connection-handling goroutine touches the totals; busy
-// is the exception — it marks a request mid-flight so a draining server
-// knows which connections it must not cut.
+// countConn wraps a connection for the server side of multiplexing: a
+// group-commit writer that serializes — and under load batches —
+// response frames, and an in-flight request count so a draining server
+// knows which connections it must not cut. Reads belong to the
+// connection's single reader goroutine.
 type countConn struct {
 	net.Conn
-	read, written int64
-	busy          atomic.Bool
+	gw       *groupWriter
+	inflight atomic.Int64
 }
 
-func (c *countConn) Read(p []byte) (int, error) {
-	n, err := c.Conn.Read(p)
-	c.read += int64(n)
-	return n, err
+func newCountConn(conn net.Conn) *countConn {
+	cc := &countConn{Conn: conn}
+	// A write failure is terminal for the connection (torn framing);
+	// severing it unblocks the reader, which tears the handler down.
+	cc.gw = newGroupWriter(conn, nil, func(error) { conn.Close() })
+	return cc
 }
 
-func (c *countConn) Write(p []byte) (int, error) {
-	n, err := c.Conn.Write(p)
-	c.written += int64(n)
-	return n, err
+// writeFrame queues one response frame on the connection's batching
+// writer and returns its wire size. Concurrent workers' responses
+// coalesce into shared syscalls.
+func (c *countConn) writeFrame(v any, codec Codec) (int64, error) {
+	return c.gw.writeFrame(v, codec)
 }
 
 // Serve accepts connections until the listener closes. It returns nil
@@ -289,8 +278,15 @@ func (s *Server) drain(deadline <-chan time.Time) {
 	s.draining = true
 	lis := s.lis
 	for c := range s.conns {
-		if !c.busy.Load() {
-			c.Close() // idle: unblock its ReadFrame now
+		if c.inflight.Load() == 0 {
+			// Idle: unblock its ReadFrame. The barrier lets a response
+			// that is still in the batching writer reach the wire first;
+			// run it off the lock so a wedged peer cannot stall the drain
+			// (the grace deadline force-closes it regardless).
+			go func(c *countConn) {
+				c.gw.barrier()
+				c.Close()
+			}(c)
 		}
 	}
 	s.mu.Unlock()
@@ -314,15 +310,32 @@ func (s *Server) drain(deadline <-chan time.Time) {
 	}
 }
 
-// draining reports whether a drain has started.
+// isDraining reports whether a drain has started.
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
 }
 
+// inflightGauge lazily resolves the wire_inflight gauge.
+func (s *Server) inflightGauge() *metrics.Gauge {
+	if s.Metrics == nil {
+		return nil
+	}
+	s.inflightOnce.Do(func() {
+		s.inflight = s.Metrics.Gauge("wire_inflight")
+	})
+	return s.inflight
+}
+
+// handle is one connection's reader loop: it reads frames and fans each
+// request out to a bounded worker pool, so a slow call never blocks the
+// calls pipelined behind it. Responses are written as they complete,
+// serialized by the connection's write mutex. Legacy ID-less requests
+// run inline, keeping strict-serial semantics for peers that expect
+// in-order responses.
 func (s *Server) handle(conn net.Conn) {
-	cc := &countConn{Conn: conn}
+	cc := newCountConn(conn)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -334,49 +347,129 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.conns[cc] = struct{}{}
 	s.mu.Unlock()
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = DefaultConnWorkers
+	}
+	// Persistent worker pool, grown on demand: dispatching a request is a
+	// channel send to an already-running goroutine, not a goroutine spawn
+	// (whose fresh stack would regrow through the handler on every
+	// single request). The buffered channel doubles as the backpressure
+	// bound: the reader blocks once `workers` requests are queued beyond
+	// the ones being processed.
+	tasks := make(chan connTask, workers)
+	var spawned int
+	var idle atomic.Int64
+	var cwg sync.WaitGroup
 	defer func() {
+		close(tasks)
+		cwg.Wait()      // every dispatched request has queued its response
+		cc.gw.stop()    // flusher drains the queue and exits
+		cc.gw.barrier() // queued responses are on the wire (or the conn died)
 		s.mu.Lock()
 		delete(s.conns, cc)
 		s.mu.Unlock()
 		cc.Close()
 	}()
+	br := bufio.NewReaderSize(cc.Conn, 64<<10) // a pipelined burst reads in one syscall
 	for {
-		r0 := cc.read
-		var req Request
-		if err := ReadFrame(cc, &req); err != nil {
+		req := new(Request)
+		codec, inB, err := readFrameCodecN(br, req)
+		if err != nil {
 			return // EOF, bad peer, or drain cut: drop the connection
 		}
-		cc.busy.Store(true)
-		start := time.Now()
-		var resp *Response
-		if s.Chaos != nil {
-			act, delay := s.Chaos.Next()
-			if delay > 0 {
-				s.countChaos("delay")
-				time.Sleep(delay)
+		cc.inflight.Add(1)
+		if req.ID == "" {
+			s.process(cc, req, codec, inB)
+		} else {
+			if idle.Load() == 0 && spawned < workers {
+				spawned++
+				cwg.Add(1)
+				go func() {
+					defer cwg.Done()
+					for {
+						idle.Add(1)
+						t, ok := <-tasks
+						idle.Add(-1)
+						if !ok {
+							return
+						}
+						s.process(cc, t.req, t.codec, t.inB)
+					}
+				}()
 			}
-			switch act {
-			case fault.ChaosDrop:
-				s.countChaos("drop")
-				return // sever mid-request, like a crashing endpoint
-			case fault.ChaosError:
-				s.countChaos("error")
-				resp = &Response{Error: "chaos: injected error", Retryable: true}
-			}
+			tasks <- connTask{req, codec, inB}
 		}
-		if resp == nil {
-			resp = s.dispatch(&req)
-		}
-		resp.ID = req.ID
-		w0 := cc.written
-		if err := WriteFrame(cc, resp); err != nil {
-			return
-		}
-		s.observe(&req, resp, time.Since(start), cc.read-r0, cc.written-w0)
-		cc.busy.Store(false)
 		if s.isDraining() {
-			return // graceful shutdown: stop after the in-flight request
+			return // graceful shutdown: stop reading, finish what's in flight
 		}
+	}
+}
+
+// connTask is one dispatched request on its way to a connection worker.
+type connTask struct {
+	req   *Request
+	codec Codec
+	inB   int64
+}
+
+// process serves one request end to end: chaos injection, dispatch,
+// response write, accounting. It decrements the connection's in-flight
+// count and, during a drain, closes the connection once it goes idle so
+// the blocked reader exits.
+func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
+	start := time.Now()
+	g := s.inflightGauge()
+	if g != nil {
+		g.Add(1)
+	}
+	done := func() {
+		if g != nil {
+			g.Add(-1)
+		}
+		if cc.inflight.Add(-1) == 0 && s.isDraining() {
+			// Drain: last in-flight request just finished. Let its
+			// response clear the batching writer before cutting the
+			// connection out from under the blocked reader.
+			cc.gw.barrier()
+			cc.Close()
+		}
+	}
+	var resp *Response
+	if s.Chaos != nil {
+		act, delay := s.Chaos.Next()
+		if delay > 0 {
+			s.countChaos("delay")
+			time.Sleep(delay)
+		}
+		switch act {
+		case fault.ChaosDrop:
+			s.countChaos("drop")
+			done()
+			cc.Close() // sever mid-request, like a crashing endpoint
+			return
+		case fault.ChaosError:
+			s.countChaos("error")
+			resp = &Response{Error: "chaos: injected error", Retryable: true}
+		}
+	}
+	if resp == nil {
+		resp = s.dispatch(req)
+	}
+	resp.ID = req.ID
+	// Answer in binary when the request arrived in binary or advertised
+	// it; the Codec ack tells the client the upgrade is on.
+	if codec == CodecBinary || req.Accept == AcceptBinary {
+		codec = CodecBinary
+		resp.Codec = codecBinaryName
+	} else {
+		codec = CodecJSON
+	}
+	outB, err := cc.writeFrame(resp, codec)
+	done()
+	if err == nil {
+		s.observe(req, resp, time.Since(start), inB, outB)
 	}
 }
 
@@ -494,176 +587,4 @@ func (s *Server) dispatch(req *Request) *Response {
 	default:
 		return &Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
 	}
-}
-
-// Client is a synchronous protocol client. It is safe for concurrent use:
-// calls serialize on the single connection. Every request is stamped with
-// a unique ID ("<connection-prefix>-<seq>") the server echoes back,
-// correlating client calls with server log lines.
-type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	prefix  string
-	seq     atomic.Int64
-	timeout time.Duration // per-call deadline; guarded by mu
-}
-
-// Dial connects to a server, bounding the TCP connect by
-// DefaultDialTimeout.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, DefaultDialTimeout)
-}
-
-// DialTimeout connects to a server with an explicit connect bound
-// (0 = no bound).
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, err
-	}
-	return newClient(conn)
-}
-
-// DialContext connects to a server under ctx: the connect is abandoned
-// when ctx ends, and is additionally bounded by DefaultDialTimeout.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	d := net.Dialer{Timeout: DefaultDialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return newClient(conn)
-}
-
-func newClient(conn net.Conn) (*Client, error) {
-	var b [4]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("wire: request-id seed: %w", err)
-	}
-	return &Client{conn: conn, prefix: hex.EncodeToString(b[:])}, nil
-}
-
-// SetCallTimeout bounds every subsequent round trip: the connection
-// deadline covers the request write and the response read, so a dead or
-// wedged peer surfaces as a timeout error instead of blocking forever.
-// 0 (the default) disables the bound.
-func (c *Client) SetCallTimeout(d time.Duration) {
-	c.mu.Lock()
-	c.timeout = d
-	c.mu.Unlock()
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	return c.roundTripContext(context.Background(), req)
-}
-
-// roundTripContext performs one call. The effective deadline is the
-// earlier of the client's call timeout and ctx's deadline; it is applied
-// to the connection with SetDeadline, so both the write and the read
-// respect it. (Cancellation without a deadline cannot interrupt a call
-// already on the wire — bound calls with a deadline, not just a cancel.)
-func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if req.ID == "" {
-		req.ID = fmt.Sprintf("%s-%d", c.prefix, c.seq.Add(1))
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var deadline time.Time
-	if c.timeout > 0 {
-		deadline = time.Now().Add(c.timeout)
-	}
-	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
-		deadline = d
-	}
-	// A zero deadline clears any bound from a previous call.
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		return nil, err
-	}
-	if err := WriteFrame(c.conn, req); err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := ReadFrame(c.conn, &resp); err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return &resp, &RemoteError{Msg: resp.Error, Retryable: resp.Retryable}
-	}
-	return &resp, nil
-}
-
-// Ping round-trips a no-op frame.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(&Request{Op: OpPing})
-	return err
-}
-
-// PingContext round-trips a no-op frame under ctx.
-func (c *Client) PingContext(ctx context.Context) error {
-	_, err := c.roundTripContext(ctx, &Request{Op: OpPing})
-	return err
-}
-
-// Invoke calls fn remotely.
-func (c *Client) Invoke(fn string, payload []byte) ([]byte, error) {
-	resp, err := c.roundTrip(&Request{Op: OpInvoke, Fn: fn, Payload: payload})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Payload, nil
-}
-
-// InvokeContext calls fn remotely under ctx: the ctx deadline (and the
-// client's call timeout) bound the round trip.
-func (c *Client) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
-	resp, err := c.roundTripContext(ctx, &Request{Op: OpInvoke, Fn: fn, Payload: payload})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Payload, nil
-}
-
-// InvokeBatch calls fn with several payloads in one frame.
-func (c *Client) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) {
-	resp, err := c.roundTrip(&Request{Op: OpBatch, Fn: fn, Batch: payloads})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Batch, nil
-}
-
-// List returns registered function names.
-func (c *Client) List() ([]string, error) {
-	resp, err := c.roundTrip(&Request{Op: OpList})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Names, nil
-}
-
-// Stats returns per-endpoint counters.
-func (c *Client) Stats() ([]EndpointStats, error) {
-	resp, err := c.roundTrip(&Request{Op: OpStats})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Stats, nil
-}
-
-// Top returns live per-function latency percentiles and cold/warm counts
-// from the server's metrics registry. Fails if the server was started
-// without one.
-func (c *Client) Top() ([]FnMetrics, error) {
-	resp, err := c.roundTrip(&Request{Op: OpTop})
-	if err != nil {
-		return nil, err
-	}
-	return resp.Top, nil
 }

@@ -23,6 +23,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== wire bench smoke =="
+# One iteration of every wire benchmark: catches a hot path that stops
+# compiling or panics without paying for a full measurement run.
+go test -run '^$' -bench 'BenchmarkWire' -benchtime=1x ./internal/wire
+
 echo "== chaos smoke (-race) =="
 # End-to-end reliability gate: fault injection active, one endpoint
 # killed mid-run, the reliable client must complete every invocation.
