@@ -155,16 +155,16 @@ func (c *Client) deliver(resp *Response) {
 		}
 		ch = c.pending[resp.ID]
 		delete(c.pending, resp.ID)
-	} else {
-		for len(c.fifo) > 0 {
-			id := c.fifo[0]
-			c.fifo = c.fifo[1:]
-			if w, ok := c.pending[id]; ok {
-				ch = w
-				delete(c.pending, id)
-				break
-			}
-		}
+	} else if len(c.fifo) > 0 {
+		// A serial legacy server sends exactly one response per request,
+		// in wire order, so consume exactly one fifo entry here. If that
+		// call was forgotten (timed out, cancelled), this response is its
+		// now-unwanted answer and must be dropped — handing it to the
+		// next fifo entry would leave every later response off by one.
+		id := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		ch = c.pending[id]
+		delete(c.pending, id)
 	}
 	c.pmu.Unlock()
 	if ch != nil {

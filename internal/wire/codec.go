@@ -122,6 +122,15 @@ func WriteFrameCodec(w io.Writer, v any, codec Codec) error {
 // body — to dst. This is the shared encode path: WriteFrameCodec issues
 // the result as one Write, and groupWriter queues it for a batched one.
 func appendFrame(dst []byte, v any, codec Codec) ([]byte, error) {
+	if codec == CodecBinary {
+		// The binary framing is only defined for the two frame types;
+		// anything else falls back to JSON, which readers auto-detect.
+		switch v.(type) {
+		case *Request, *Response:
+		default:
+			codec = CodecJSON
+		}
+	}
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length prefix placeholder
 	var err error

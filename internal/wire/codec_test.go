@@ -170,6 +170,24 @@ func TestWriteFrameSingleWrite(t *testing.T) {
 	}
 }
 
+// TestBinaryFallsBackToJSONForOtherTypes: CodecBinary is only defined
+// for *Request/*Response; any other value must go out as a JSON frame
+// (which readers auto-detect) rather than erroring.
+func TestBinaryFallsBackToJSONForOtherTypes(t *testing.T) {
+	var buf bytes.Buffer
+	in := map[string]string{"k": "v"}
+	if err := WriteFrameCodec(&buf, in, CodecBinary); err != nil {
+		t.Fatalf("non-frame type under CodecBinary: %v", err)
+	}
+	out := map[string]string{}
+	if codec, err := ReadFrameCodec(&buf, &out); err != nil || codec != CodecJSON {
+		t.Fatalf("read back codec=%v err=%v, want JSON fallback", codec, err)
+	}
+	if out["k"] != "v" {
+		t.Fatalf("round trip = %v", out)
+	}
+}
+
 // TestBinaryFrameTooLarge: the size cap applies to binary frames too.
 func TestBinaryFrameTooLarge(t *testing.T) {
 	req := &Request{Op: OpInvoke, Payload: make([]byte, MaxFrame+1)}

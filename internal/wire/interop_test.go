@@ -8,12 +8,14 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"io"
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // legacyRequest mirrors the pre-binary Request schema: no Accept field,
@@ -152,6 +154,52 @@ func TestNewClientAgainstIDStrippingServer(t *testing.T) {
 		if err != nil || string(out) != string(bytes.ToUpper([]byte(in))) {
 			t.Fatalf("invoke(%q): %q, %v", in, out, err)
 		}
+	}
+}
+
+// TestLegacyFIFODropsStaleResponse: when a call against an ID-stripping
+// server times out, its eventual ID-less response must be dropped — not
+// handed to the next wire-order call, which would leave every later
+// response off by one for the connection's lifetime.
+func TestLegacyFIFODropsStaleResponse(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var req1, req2 legacyRequest
+		if err := readLegacyFrame(conn, &req1); err != nil {
+			return
+		}
+		// Hold the first answer until the second request arrives — which
+		// only happens after the first call has timed out client-side —
+		// so the stale response is guaranteed to land while the second
+		// call is registered and waiting.
+		if err := readLegacyFrame(conn, &req2); err != nil {
+			return
+		}
+		writeLegacyFrame(conn, &legacyResponse{OK: true, Payload: bytes.ToUpper(req1.Payload)})
+		writeLegacyFrame(conn, &legacyResponse{OK: true, Payload: bytes.ToUpper(req2.Payload)})
+	}()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.InvokeContext(ctx, "upper", []byte("slow")); err == nil {
+		t.Fatal("expected the held call to time out")
+	}
+	out, err := c.Invoke("upper", []byte("next"))
+	if err != nil || string(out) != "NEXT" {
+		t.Fatalf("call after timeout got %q, %v — stale response misrouted", out, err)
 	}
 }
 

@@ -335,13 +335,16 @@ func (s *Server) inflightGauge() *metrics.Gauge {
 // run inline, keeping strict-serial semantics for peers that expect
 // in-order responses.
 func (s *Server) handle(conn net.Conn) {
-	cc := newCountConn(conn)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		conn.Close()
 		return
 	}
+	// Created under the lock so the draining check above covers it: a
+	// countConn spawns the groupWriter flusher, which only an accepted
+	// connection's teardown path stops.
+	cc := newCountConn(conn)
 	if s.conns == nil {
 		s.conns = make(map[*countConn]struct{})
 	}
