@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire chaos-smoke
+.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke
 
 check:
 	./scripts/check.sh
@@ -20,7 +20,18 @@ bench-wire:
 	go test -run '^$$' -bench 'BenchmarkWire' -benchmem ./internal/wire
 	go run ./cmd/continuum-bench -wire -wire-out BENCH_wire.json
 
+# Speculation/hedging tail-latency run: the simulated F11 distillation
+# plus live hedged-vs-unhedged p99, recorded in BENCH_speculation.json.
+bench-spec:
+	go run ./cmd/continuum-bench -spec -spec-out BENCH_speculation.json
+
 # End-to-end reliability smoke: chaos injection + endpoint kill under the
 # race detector (also part of `make check`).
 chaos-smoke:
 	go test -race -count=1 -run 'TestE2EChaosNoRequestLost|TestDeadlineParitySimAndLive' .
+
+# Speculation smoke: engine speculation properties plus the hedged
+# zero-loss end-to-end gate under the race detector (also in `make check`).
+spec-smoke:
+	go test -race -count=1 -run 'TestSpeculation' ./internal/core
+	go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .

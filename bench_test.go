@@ -78,6 +78,9 @@ func BenchmarkF9Routing(b *testing.B) { benchExperiment(b, experiments.F9Routing
 // BenchmarkF10Workflow regenerates F10 (workflows under failures).
 func BenchmarkF10Workflow(b *testing.B) { benchExperiment(b, experiments.F10Workflow) }
 
+// BenchmarkF11Speculation regenerates F11 (hedging the tail).
+func BenchmarkF11Speculation(b *testing.B) { benchExperiment(b, experiments.F11Speculation) }
+
 // Ablation benches.
 
 // BenchmarkAblationEventQueue regenerates A1 (heap vs sorted list).

@@ -9,6 +9,7 @@
 //	continuum-bench -size small     # trimmed parameters (quick look)
 //	continuum-bench -csv            # tables as CSV
 //	continuum-bench -wire           # wire-protocol throughput -> BENCH_wire.json
+//	continuum-bench -spec           # speculation/hedging tail latency -> BENCH_speculation.json
 package main
 
 import (
@@ -30,11 +31,21 @@ func main() {
 	wirePayload := flag.Int("wire-payload", 256, "wire bench: invoke payload bytes")
 	wireC := flag.Int("wire-c", 64, "wire bench: concurrent callers on the shared connection")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "wire bench: JSON report path")
+	specBench := flag.Bool("spec", false, "measure speculative-execution tail latency (sim + live hedging) instead of the experiments")
+	specN := flag.Int("spec-n", 4000, "spec bench: live calls per mode")
+	specOut := flag.String("spec-out", "BENCH_speculation.json", "spec bench: JSON report path")
 	flag.Parse()
 
 	if *wireBench {
 		if err := runWireBench(*wireN, *wirePayload, *wireC, *wireOut); err != nil {
 			fmt.Fprintf(os.Stderr, "continuum-bench: wire: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *specBench {
+		if err := runSpecBench(*specN, *specOut); err != nil {
+			fmt.Fprintf(os.Stderr, "continuum-bench: spec: %v\n", err)
 			os.Exit(1)
 		}
 		return

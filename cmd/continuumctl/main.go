@@ -18,6 +18,14 @@
 // bounds every round trip so a dead endpoint fails fast.
 //
 //	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -timeout 2s bench echo -n 1000
+//
+// -hedge enables hedged requests against a federation: a call still in
+// flight after the hedge delay is re-issued at a second endpoint and the
+// first response wins. "-hedge auto" derives the delay from the client's
+// own observed p99; "-hedge 5ms" fixes it. A hedge summary (arms
+// launched, races won) prints after federation commands.
+//
+//	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -hedge auto bench sleep -p '{"ms":2}' -n 2000
 package main
 
 import (
@@ -36,12 +44,17 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "endpoint address, or comma-separated list for retry+failover")
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 = none)")
+	hedgeSpec := flag.String("hedge", "", "hedge in-flight calls at a second endpoint: 'auto' (p99-derived delay) or a fixed duration like '5ms' (empty = off; needs >= 2 addresses)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 	addrs := splitAddrs(*addr)
+	hedge, err := parseHedge(*hedgeSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Federation commands (ping, invoke, bench) use the reliable client
 	// when several addresses are given — retry, failover, breakers. The
@@ -52,11 +65,14 @@ func main() {
 		rc, err = wire.NewReliableClient(wire.ReliableConfig{
 			Addrs:       addrs,
 			CallTimeout: *timeout,
+			Hedge:       hedge,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer rc.Close()
+	} else if hedge.Enabled {
+		fatal(fmt.Errorf("-hedge needs at least two -addr endpoints"))
 	}
 	// admin lazily dials the first address for the single-endpoint ops.
 	var c *wire.Client
@@ -155,7 +171,7 @@ func main() {
 		if err := benchFlags.Parse(args[2:]); err != nil {
 			fatal(err)
 		}
-		runBench(addrs, *timeout, args[1], []byte(*payload), *n, *conc, *mux)
+		runBench(addrs, *timeout, hedge, args[1], []byte(*payload), *n, *conc, *mux)
 
 	default:
 		usage()
@@ -202,10 +218,18 @@ type benchCaller interface {
 // same connection with out-of-order responses — the way to see the
 // pipelined wire protocol's throughput rather than the kernel's accept
 // rate.
-func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, n, conc int, mux bool) {
+func runBench(addrs []string, timeout time.Duration, hedge wire.HedgeConfig, fn string, payload []byte, n, conc int, mux bool) {
+	var rcsMu sync.Mutex
+	var rcs []*wire.ReliableClient // for the post-run hedge summary
 	dial := func() (benchCaller, error) {
 		if len(addrs) > 1 {
-			return wire.NewReliableClient(wire.ReliableConfig{Addrs: addrs, CallTimeout: timeout})
+			rc, err := wire.NewReliableClient(wire.ReliableConfig{Addrs: addrs, CallTimeout: timeout, Hedge: hedge})
+			if err == nil {
+				rcsMu.Lock()
+				rcs = append(rcs, rc)
+				rcsMu.Unlock()
+			}
+			return rc, err
 		}
 		c, err := wire.Dial(addrs[0])
 		if err != nil {
@@ -271,6 +295,15 @@ func runBench(addrs []string, timeout time.Duration, fn string, payload []byte, 
 		all[len(all)*9/10].Round(time.Microsecond),
 		all[len(all)*99/100].Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
+	if hedge.Enabled {
+		var launched, wins int64
+		for _, rc := range rcs {
+			l, w := rc.HedgeStats()
+			launched += l
+			wins += w
+		}
+		fmt.Printf("hedges: %d launched, %d won\n", launched, wins)
+	}
 }
 
 func sortDurations(ds []time.Duration) {
@@ -291,8 +324,9 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-// breakerSummary prints each endpoint's circuit state after a
-// federation command; nil-safe for the single-address path.
+// breakerSummary prints each endpoint's circuit state (and, when hedging
+// ran, the hedge counters) after a federation command; nil-safe for the
+// single-address path.
 func breakerSummary(rc *wire.ReliableClient) {
 	if rc == nil {
 		return
@@ -306,10 +340,30 @@ func breakerSummary(rc *wire.ReliableClient) {
 	for _, k := range keys {
 		fmt.Fprintf(os.Stderr, "breaker %s: %s\n", k, states[k])
 	}
+	if launched, wins := rc.HedgeStats(); launched > 0 {
+		fmt.Fprintf(os.Stderr, "hedges: %d launched, %d won\n", launched, wins)
+	}
+}
+
+// parseHedge turns the -hedge flag into a wire.HedgeConfig: "" = off,
+// "auto" = p99-derived delay, anything else = a fixed delay duration.
+func parseHedge(s string) (wire.HedgeConfig, error) {
+	switch s {
+	case "":
+		return wire.HedgeConfig{}, nil
+	case "auto":
+		return wire.HedgeConfig{Enabled: true}, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return wire.HedgeConfig{}, fmt.Errorf("-hedge: want 'auto' or a positive duration, got %q", s)
+		}
+		return wire.HedgeConfig{Enabled: true, Delay: d}, nil
+	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `continuumctl [-addr host:port[,host:port...]] [-timeout d] <command>
+	fmt.Fprintln(os.Stderr, `continuumctl [-addr host:port[,host:port...]] [-timeout d] [-hedge auto|dur] <command>
 
 commands:
   ping                      round-trip check
@@ -321,7 +375,9 @@ commands:
 
 With several -addr endpoints, ping/invoke/bench retry with backoff and
 fail over across them behind per-endpoint circuit breakers; -timeout
-bounds each round trip.`)
+bounds each round trip. -hedge additionally races slow in-flight calls
+against a second endpoint ('auto' = p99-derived delay, or a fixed
+duration like '5ms').`)
 	os.Exit(2)
 }
 

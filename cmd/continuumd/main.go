@@ -25,6 +25,11 @@
 // phases (see fault.ParseChaos for the spec grammar) — turning any
 // federation member into a fault injector for reliability experiments.
 //
+// With -hedge the endpoint preempts cancelled invocations: when a hedged
+// client abandons the losing arm of a request race, the abandoned
+// invocation's capacity slot frees immediately instead of when its
+// handler returns, so lost hedge races don't shrink effective capacity.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
 // lets in-flight requests finish (bounded by -grace), then flushes a
 // final metrics snapshot before exiting.
@@ -136,6 +141,7 @@ func main() {
 	grace := flag.Duration("grace", 10*time.Second, "in-flight drain bound for graceful shutdown on SIGINT/SIGTERM")
 	chaos := flag.String("chaos", "", "inject wire-level faults, e.g. 'drop=0.05,err=0.1,delay=20ms,delayp=0.3,up=10s,down=500ms,seed=1' (empty = off)")
 	workers := flag.Int("workers", 0, "max concurrent requests per connection for multiplexing clients (0 = default)")
+	hedge := flag.Bool("hedge", false, "free the capacity slot of a cancelled invocation immediately (server-side support for hedged clients: the losing hedge arm stops occupying a container slot)")
 	flag.Parse()
 
 	if *name == "" {
@@ -143,12 +149,13 @@ func main() {
 	}
 	reg := builtinRegistry()
 	ep := faas.NewEndpoint(faas.EndpointConfig{
-		Name:        *name,
-		Capacity:    *capacity,
-		ColdStart:   *cold,
-		WarmTTL:     *warmTTL,
-		QueueWait:   *queueWait,
-		ExecTimeout: *execTimeout,
+		Name:             *name,
+		Capacity:         *capacity,
+		ColdStart:        *cold,
+		WarmTTL:          *warmTTL,
+		QueueWait:        *queueWait,
+		ExecTimeout:      *execTimeout,
+		PreemptAbandoned: *hedge,
 	}, reg)
 
 	srv := &wire.Server{

@@ -3,6 +3,14 @@
 // executes workloads — online task streams under a placement policy, and
 // static DAG schedules — while collecting the latency/energy/cost metrics
 // every experiment reports.
+//
+// Reliability is opt-in via RunStreamReliable and ReliableOptions:
+// injected faults, bounded retries, per-node circuit breaking, and —
+// through SpeculateOptions — hedged execution, where a task in flight
+// past the observed latency quantile (or a multiple of its expected
+// runtime) gets a backup replica on a different node; the first finisher
+// wins and the loser is preempted on delivery with its node time still
+// billed, so wasted work shows up in the stats instead of hiding.
 package core
 
 import (

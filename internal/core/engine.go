@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"continuum/internal/data"
 	"continuum/internal/netsim"
 	"continuum/internal/node"
 	"continuum/internal/placement"
+	"continuum/internal/sim"
 	"continuum/internal/task"
 	"continuum/internal/trace"
 )
@@ -20,11 +22,13 @@ import (
 //	    account cost/egress → deliver outputs → feedback/trace
 //
 // Fault-awareness is not a separate runner: it is the ReliableOptions
-// hook. With the zero value (no Faults) every epoch-check is a no-op and
-// no retry can ever fire, so a reliable run without faults is the same
-// computation as a base run — the equivalence property engine_test.go
-// asserts. New runner features (deadlines, preemption, speculation)
-// belong here, where all four entry points inherit them at once.
+// hook. With the zero value (no Faults) every epoch-check is a no-op, no
+// retry can ever fire, and no backup replica is ever launched, so a
+// reliable run without faults is the same computation as a base run —
+// the equivalence property engine_test.go asserts. Deadlines
+// (TaskDeadline) and speculation/preemption (Speculate) are likewise
+// hooks on this shared pipeline, so all four entry points inherit them
+// at once.
 type engine struct {
 	c    *Continuum
 	st   *ReliableStats
@@ -204,6 +208,108 @@ func (e *engine) complete(n *node.Node, latencyBase float64) {
 	}
 }
 
+// specGroup tracks one unit's replica set under the Speculate policy:
+// how many replicas are still in flight, whether one already delivered,
+// and the pending hedge timer (cancelled once the race is decided).
+type specGroup struct {
+	won         bool
+	outstanding int
+	timer       *sim.Timer
+}
+
+// speculate dispatches one unit with hedged execution: the primary runs
+// immediately, and if it is still in flight after the hedge delay a
+// backup replica launches on the node pickBackup returns. The first
+// replica to deliver wins; the loser's result is discarded (and counted
+// as preempted) when it eventually completes — node.Execute has no
+// mid-flight cancellation, which models real preemption-without-kill:
+// the loser's core time and energy were genuinely consumed.
+//
+// mk builds a unit for a given (node, attempt) pair so each replica's
+// delivery path is bound to the node that actually ran it; seq numbers
+// every dispatch of the logical job, so primary, backup, and any later
+// retry each carry a distinct trace attempt. Loss semantics: a replica
+// loss while its sibling is still in flight is absorbed (the sibling
+// carries the unit); only when the last outstanding replica is lost does
+// the unit's loss path (retry budget) run.
+func (e *engine) speculate(mk func(n *node.Node, attempt int) unit, primary *node.Node, seq *int, pickBackup func() *node.Node) {
+	g := &specGroup{}
+	wrap := func(v unit, backup bool) unit {
+		deliver, lost := v.deliver, v.lost
+		v.deliver = func(execEnd float64) {
+			g.outstanding--
+			if g.won {
+				// The sibling already delivered: this replica lost the race.
+				// Its execution was billed in run(); only the result is
+				// discarded.
+				e.st.PreemptedTasks++
+				e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Preempt, v.node.Name, v.task.Name, v.attempt)
+				return
+			}
+			g.won = true
+			if g.timer != nil {
+				g.timer.Cancel()
+			}
+			if backup {
+				e.st.SpeculativeWins++
+			}
+			deliver(execEnd)
+		}
+		v.lost = func() {
+			g.outstanding--
+			if g.won || g.outstanding > 0 {
+				return // the sibling still carries the unit
+			}
+			if g.timer != nil {
+				g.timer.Cancel()
+			}
+			lost()
+		}
+		return v
+	}
+	u := mk(primary, *seq)
+	*seq++
+	if delay, ok := e.hedgeDelay(u); ok {
+		g.timer = e.c.K.After(delay, func() {
+			if g.won || g.outstanding == 0 {
+				return // decided before the hedge delay elapsed
+			}
+			n := pickBackup()
+			if n == nil {
+				return // nowhere else to run it
+			}
+			b := mk(n, *seq)
+			*seq++
+			e.st.SpeculativeLaunches++
+			g.outstanding++
+			e.run(wrap(b, true))
+		})
+	}
+	g.outstanding++
+	e.run(wrap(u, false))
+}
+
+// hedgeDelay is how long an attempt may be in flight before a backup
+// launches: the observed latency quantile once enough samples exist,
+// else Multiple × the primary node's expected execution time.
+func (e *engine) hedgeDelay(u unit) (float64, bool) {
+	s := e.opts.Speculate
+	if !s.enabled() {
+		return 0, false
+	}
+	if s.Quantile > 0 && e.st.Latency.Count() >= int64(s.minSamples()) {
+		if d := e.st.Latency.Quantile(s.Quantile); d > 0 {
+			return d, true
+		}
+	}
+	if s.Multiple > 0 {
+		if d := s.Multiple * u.node.ExecTime(u.task.ScalarWork, u.task.TensorWork, u.task.Accel); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
 // retry re-enqueues a failed attempt after RetryBackoff, or counts the
 // unit lost and calls exhausted (may be nil) once the budget is spent.
 func (e *engine) retry(retriesLeft int, again, exhausted func()) {
@@ -233,9 +339,9 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 	// env once and keep it off the per-job hot path.
 	staticEnv := &placement.Env{Net: c.Net, Nodes: candidates, Fabric: c.Fabric}
 
-	var attempt func(j StreamJob, retriesLeft int)
-	attempt = func(j StreamJob, retriesLeft int) {
-		again := func() { attempt(j, retriesLeft-1) }
+	var attempt func(j StreamJob, retriesLeft int, seq *int)
+	attempt = func(j StreamJob, retriesLeft int, seq *int) {
+		again := func() { attempt(j, retriesLeft-1, seq) }
 		env := staticEnv
 		if len(e.opts.Faults) > 0 {
 			live := make([]*node.Node, 0, len(candidates))
@@ -250,25 +356,51 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 			}
 			env = &placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
 		}
-		n := pol.Select(env, placement.Request{Task: j.Task, Origin: j.Origin})
-		e.run(unit{
-			task:    j.Task,
-			node:    n,
-			attempt: e.opts.MaxRetries - retriesLeft,
-			origin:  j.Origin,
-			deliver: func(float64) {
-				e.egress(n, j.Origin, j.Task.OutputBytes)
-				c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
-					e.complete(n, j.Submit)
-				})
-			},
-			lost: func() { e.retry(retriesLeft, again, nil) },
+		req := placement.Request{Task: j.Task, Origin: j.Origin}
+		n := pol.Select(env, req)
+		// mk binds a replica's delivery path to the node that actually runs
+		// it — under speculation a backup executes (and replies from) a
+		// different node than the primary.
+		mk := func(n *node.Node, attemptNo int) unit {
+			return unit{
+				task:    j.Task,
+				node:    n,
+				attempt: attemptNo,
+				origin:  j.Origin,
+				deliver: func(float64) {
+					e.egress(n, j.Origin, j.Task.OutputBytes)
+					c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
+						e.complete(n, j.Submit)
+					})
+				},
+				lost: func() { e.retry(retriesLeft, again, nil) },
+			}
+		}
+		if !e.opts.Speculate.enabled() {
+			u := mk(n, *seq)
+			*seq++
+			e.run(u)
+			return
+		}
+		// The backup node is the policy's choice over the candidates that
+		// are still up at hedge time, with the straggling primary excluded.
+		e.speculate(mk, n, seq, func() *node.Node {
+			rest := make([]*node.Node, 0, len(candidates))
+			for _, cn := range candidates {
+				if cn != n && e.opts.up(cn) {
+					rest = append(rest, cn)
+				}
+			}
+			if len(rest) == 0 {
+				return nil
+			}
+			return pol.Select(&placement.Env{Net: c.Net, Nodes: rest, Fabric: c.Fabric}, req)
 		})
 	}
 
 	for _, j := range jobs {
 		j := j
-		c.K.At(j.Submit, func() { attempt(j, opts.MaxRetries) })
+		c.K.At(j.Submit, func() { attempt(j, opts.MaxRetries, new(int)) })
 	}
 	c.K.Run()
 	e.st.Joules = c.TotalJoules()
@@ -308,6 +440,8 @@ func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement
 		tryStart(id)
 	}
 
+	seqs := make([]int, d.N()) // per-task dispatch sequence for trace attempts
+
 	runTask = func(id task.ID, retriesLeft int) {
 		if aborted {
 			return
@@ -323,30 +457,56 @@ func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement
 			retry() // wait out the downtime; the schedule pins the task here
 			return
 		}
-		e.run(unit{
-			task:    tk,
-			node:    n,
-			attempt: e.opts.MaxRetries - retriesLeft,
-			origin:  -1,
-			deliver: func(execEnd float64) {
-				e.complete(n, readyAt[id])
-				for _, edge := range d.Successors(id) {
-					edge := edge
-					dst := env.Nodes[sched.Assign[edge.To]]
-					if dst.ID == n.ID {
-						arrive(edge.To)
-						continue
+		// mk binds a replica's successor-edge transfers to the node that
+		// actually executed it (a winning backup ships edges from its own
+		// node, not the schedule's pinned one).
+		mk := func(n *node.Node, attemptNo int) unit {
+			return unit{
+				task:    tk,
+				node:    n,
+				attempt: attemptNo,
+				origin:  -1,
+				deliver: func(execEnd float64) {
+					e.complete(n, readyAt[id])
+					for _, edge := range d.Successors(id) {
+						edge := edge
+						dst := env.Nodes[sched.Assign[edge.To]]
+						if dst.ID == n.ID {
+							arrive(edge.To)
+							continue
+						}
+						e.egress(n, dst.ID, edge.Bytes)
+						c.Tracer.Record(execEnd, trace.TransferStart, n.Name+"->"+dst.Name,
+							fmt.Sprintf("%.0fB", edge.Bytes))
+						c.Net.Transfer(n.ID, dst.ID, edge.Bytes, func(*netsim.Flow) {
+							c.Tracer.Record(c.K.Now(), trace.TransferEnd, n.Name+"->"+dst.Name, "")
+							arrive(edge.To)
+						})
 					}
-					e.egress(n, dst.ID, edge.Bytes)
-					c.Tracer.Record(execEnd, trace.TransferStart, n.Name+"->"+dst.Name,
-						fmt.Sprintf("%.0fB", edge.Bytes))
-					c.Net.Transfer(n.ID, dst.ID, edge.Bytes, func(*netsim.Flow) {
-						c.Tracer.Record(c.K.Now(), trace.TransferEnd, n.Name+"->"+dst.Name, "")
-						arrive(edge.To)
-					})
+				},
+				lost: retry,
+			}
+		}
+		if !e.opts.Speculate.enabled() {
+			u := mk(n, seqs[id])
+			seqs[id]++
+			e.run(u)
+			return
+		}
+		// The schedule pins the primary; the backup goes to the fastest
+		// other node that is up at hedge time.
+		e.speculate(mk, n, &seqs[id], func() *node.Node {
+			var best *node.Node
+			bestT := math.Inf(1)
+			for _, cand := range env.Nodes {
+				if cand == n || !e.opts.up(cand) {
+					continue
 				}
-			},
-			lost: retry,
+				if et := cand.ExecTime(tk.ScalarWork, tk.TensorWork, tk.Accel); et < bestT {
+					bestT, best = et, cand
+				}
+			}
+			return best
 		})
 	}
 

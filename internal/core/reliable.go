@@ -26,6 +26,45 @@ type ReliableOptions struct {
 	// path's faas.EndpointConfig.ExecTimeout, so simulated and real runs
 	// share one deadline semantics.
 	TaskDeadline float64
+	// Speculate enables hedged (speculative) execution: a straggling
+	// attempt gets a backup replica on a different candidate node, first
+	// finisher wins, the loser is preempted. The zero value disables it.
+	// It mirrors the live path's wire.HedgeConfig, so simulated and real
+	// runs share one tail-latency semantics.
+	Speculate SpeculateOptions
+}
+
+// SpeculateOptions configures speculative (hedged) execution. A backup
+// replica launches once an attempt has been in flight longer than the
+// hedge delay; whichever replica delivers first wins, and the loser's
+// result is discarded (its node time stays billed — the work physically
+// ran). The zero value disables speculation, preserving the engine's
+// zero-options equivalence property.
+type SpeculateOptions struct {
+	// Quantile, when > 0, derives the hedge delay from the observed
+	// latency distribution: a backup launches once an attempt exceeds
+	// this quantile of completed-unit latency (e.g. 0.95). It engages
+	// after MinSamples observations; before that, Multiple (if set)
+	// carries the trigger.
+	Quantile float64
+	// Multiple, when > 0, is the static trigger: a backup launches once
+	// an attempt has been in flight longer than Multiple × the primary
+	// node's expected execution time for the task. Straggling here means
+	// queueing or staging delay the dispatcher could not foresee.
+	Multiple float64
+	// MinSamples is how many latency observations the Quantile trigger
+	// needs before it engages (default 20).
+	MinSamples int
+}
+
+// enabled reports whether any speculation trigger is configured.
+func (s SpeculateOptions) enabled() bool { return s.Quantile > 0 || s.Multiple > 0 }
+
+func (s SpeculateOptions) minSamples() int {
+	if s.MinSamples <= 0 {
+		return 20
+	}
+	return s.MinSamples
 }
 
 // ReliableStats extends Stats with failure accounting.
@@ -38,6 +77,16 @@ type ReliableStats struct {
 	// DeadlineMisses counts attempts that overran TaskDeadline (each one
 	// also consumed a retry or contributed to Lost).
 	DeadlineMisses int64
+	// SpeculativeLaunches counts backup replicas dispatched by the
+	// Speculate policy.
+	SpeculativeLaunches int64
+	// SpeculativeWins counts units whose backup replica delivered first.
+	SpeculativeWins int64
+	// PreemptedTasks counts losing replicas whose results were discarded
+	// because a sibling finished first. Their node time and energy stay
+	// billed — the work physically ran — which is the wasted-work cost of
+	// speculation.
+	PreemptedTasks int64
 }
 
 // SuccessRate returns completed/(completed+lost).

@@ -66,6 +66,7 @@ func All() []struct {
 		{"F8", F8Elasticity},
 		{"F9", F9Routing},
 		{"F10", F10Workflow},
+		{"F11", F11Speculation},
 	}
 }
 

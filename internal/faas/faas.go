@@ -117,6 +117,15 @@ type EndpointConfig struct {
 	// slot until it actually returns (Go cannot kill a goroutine), so a
 	// stuck handler degrades capacity rather than corrupting state.
 	ExecTimeout time.Duration
+	// PreemptAbandoned frees the capacity slot of a handler abandoned by
+	// context *cancellation* immediately, instead of when the handler
+	// returns. Cancellation means the caller no longer wants the result —
+	// typically a hedged request whose sibling arm won — and the handler
+	// is presumed cooperative, so holding its slot would let every lost
+	// hedge race shrink effective capacity. Deliberately not applied to
+	// ExecTimeout or deadline expiry: those often mean a wedged handler,
+	// and freeing its slot would oversubscribe the endpoint.
+	PreemptAbandoned bool
 }
 
 type container struct {
@@ -139,11 +148,13 @@ type Endpoint struct {
 	running atomic.Int64
 
 	// Stats (atomic): cold starts, warm hits, completed invocations,
-	// recovered handler panics.
+	// recovered handler panics, preempted (cancelled, slot freed early)
+	// invocations.
 	coldStarts  atomic.Int64
 	warmHits    atomic.Int64
 	invocations atomic.Int64
 	panics      atomic.Int64
+	preempted   atomic.Int64
 
 	// obs, when non-nil, publishes per-function latency histograms,
 	// queue-wait, cold/warm counters, and an in-flight gauge into a
@@ -169,6 +180,7 @@ type fnMetrics struct {
 	cold, warm  *metrics.Counter
 	invocations *metrics.Counter
 	panics      *metrics.Counter
+	preempted   *metrics.Counter
 }
 
 func newEpObserver(reg *metrics.Registry, ep string) *epObserver {
@@ -193,6 +205,7 @@ func (o *epObserver) fn(name string) *fnMetrics {
 			warm:        o.reg.Counter(metrics.Label("faas_warm_hits_total", "ep", o.ep, "fn", name)),
 			invocations: o.reg.Counter(metrics.Label("faas_invocations_total", "ep", o.ep, "fn", name)),
 			panics:      o.reg.Counter(metrics.Label("faas_panics_total", "ep", o.ep, "fn", name)),
+			preempted:   o.reg.Counter(metrics.Label("faas_preempted_total", "ep", o.ep, "fn", name)),
 		}
 		o.fns[name] = m
 	}
@@ -225,6 +238,8 @@ func NewEndpoint(cfg EndpointConfig, reg *Registry) *Endpoint {
 //	faas_warm_hits_total{ep,fn}          invocations that reused a container
 //	faas_invocations_total{ep,fn}        completed invocations
 //	faas_panics_total{ep,fn}             handler panics recovered
+//	faas_preempted_total{ep,fn}          cancelled invocations whose slot
+//	                                     was freed early (PreemptAbandoned)
 //	faas_inflight{ep}                    invocations currently in the endpoint
 //
 // Call before serving traffic: SetMetrics is not synchronized against
@@ -258,6 +273,10 @@ func (ep *Endpoint) Invocations() int64 { return ep.invocations.Load() }
 
 // Panics returns how many handler panics were recovered.
 func (ep *Endpoint) Panics() int64 { return ep.panics.Load() }
+
+// Preempted returns how many cancelled invocations had their capacity
+// slot freed early under EndpointConfig.PreemptAbandoned.
+func (ep *Endpoint) Preempted() int64 { return ep.preempted.Load() }
 
 // Close marks the endpoint closed; in-flight work completes, new
 // invocations fail.
@@ -422,6 +441,11 @@ func (ep *Endpoint) safeCall(fn string, h Handler, payload []byte) (out []byte, 
 // path). With one, the handler runs in a goroutine and exactly one side
 // — the caller or, if the caller times out first, the abandoned handler
 // itself — performs the release, decided by a single atomic claim.
+//
+// With PreemptAbandoned, a *cancelled* caller frees the capacity slot
+// right away; the still-running handler only returns its container to
+// the warm pool when it eventually finishes (slotFreed tells it the slot
+// side is already done).
 func (ep *Endpoint) execute(ctx context.Context, fn string, h Handler, payload []byte) ([]byte, error) {
 	finish := func() {
 		ep.release(fn)
@@ -443,20 +467,41 @@ func (ep *Endpoint) execute(ctx context.Context, fn string, h Handler, payload [
 		err error
 	}
 	done := make(chan result, 1)
-	var claimed atomic.Bool // first claimant controls who releases
+	var claimed atomic.Bool   // first claimant controls who releases
+	var slotFreed atomic.Bool // set (before the claim) when preemption released the slot
 	go func() {
 		out, err := ep.safeCall(fn, h, payload)
 		if !claimed.CompareAndSwap(false, true) {
-			finish() // caller gave up: the late handler cleans up
+			// Caller gave up: the late handler cleans up whatever the
+			// abandoning side left behind. slotFreed is ordered before the
+			// claim, so losing the CAS guarantees we observe it.
+			if slotFreed.Load() {
+				ep.release(fn)
+			} else {
+				finish()
+			}
 			return
 		}
 		done <- result{out, err}
 	}()
-	abandon := func(cause error) ([]byte, error) {
+	abandon := func(cause error, preempt bool) ([]byte, error) {
+		if preempt {
+			// Must be ordered before the claim: the handler goroutine reads
+			// slotFreed only after losing the CAS.
+			slotFreed.Store(true)
+		}
 		if !claimed.CompareAndSwap(false, true) {
-			r := <-done // lost the race: the handler just finished
+			slotFreed.Store(false) // lost the race: the handler just finished
+			r := <-done
 			finish()
 			return r.out, r.err
+		}
+		if preempt {
+			ep.preempted.Add(1)
+			if obs := ep.obs; obs != nil {
+				obs.fn(fn).preempted.Inc()
+			}
+			ep.releaseSlot()
 		}
 		return nil, cause
 	}
@@ -466,9 +511,10 @@ func (ep *Endpoint) execute(ctx context.Context, fn string, h Handler, payload [
 		return r.out, r.err
 	case <-timeout:
 		return abandon(fmt.Errorf("faas: %q deadline exceeded after %v: %w",
-			fn, ep.cfg.ExecTimeout, context.DeadlineExceeded))
+			fn, ep.cfg.ExecTimeout, context.DeadlineExceeded), false)
 	case <-ctx.Done():
-		return abandon(fmt.Errorf("faas: %q: %w", fn, ctx.Err()))
+		return abandon(fmt.Errorf("faas: %q: %w", fn, ctx.Err()),
+			ep.cfg.PreemptAbandoned && errors.Is(ctx.Err(), context.Canceled))
 	}
 }
 

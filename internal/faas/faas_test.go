@@ -2,6 +2,7 @@ package faas
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -360,5 +361,118 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	}
 	if total != calls {
 		t.Fatalf("total invocations = %d, want %d", total, calls)
+	}
+}
+
+// TestPreemptAbandonedFreesSlot: with PreemptAbandoned, cancelling a
+// caller must free the capacity slot immediately — a waiting invocation
+// proceeds while the abandoned handler is still running — and the late
+// handler's own cleanup must not double-release the slot.
+func TestPreemptAbandonedFreesSlot(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	reg := NewRegistry()
+	reg.Register("hang", func([]byte) ([]byte, error) {
+		started.Done()
+		<-release
+		return []byte("late"), nil
+	})
+	reg.Register("quick", func(p []byte) ([]byte, error) { return p, nil })
+	ep := NewEndpoint(EndpointConfig{
+		Name: "ep", Capacity: 1, WarmTTL: time.Minute, PreemptAbandoned: true,
+	}, reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ep.InvokeContext(ctx, "hang", nil)
+		errc <- err
+	}()
+	started.Wait()
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled invocation returned %v", err)
+	}
+	if ep.Preempted() != 1 {
+		t.Fatalf("Preempted = %d, want 1", ep.Preempted())
+	}
+
+	// The slot must already be free even though "hang" is still running.
+	qctx, qcancel := context.WithTimeout(context.Background(), time.Second)
+	defer qcancel()
+	if out, err := ep.InvokeContext(qctx, "quick", []byte("go")); err != nil || string(out) != "go" {
+		t.Fatalf("post-preemption invoke = %q, %v — slot not freed", out, err)
+	}
+
+	// Let the abandoned handler finish; its cleanup must NOT release the
+	// slot a second time. If it did, capacity 1 would admit two
+	// concurrent handlers below.
+	close(release)
+	time.Sleep(10 * time.Millisecond)
+	var active, peak int64
+	reg.Register("probe", func([]byte) ([]byte, error) {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		atomic.AddInt64(&active, -1)
+		return nil, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep.Invoke("probe", nil)
+		}()
+	}
+	wg.Wait()
+	if p := atomic.LoadInt64(&peak); p > 1 {
+		t.Fatalf("peak concurrency %d > capacity 1 — preemption double-released the slot", p)
+	}
+}
+
+// TestExecTimeoutDoesNotPreempt: ExecTimeout abandonment often means a
+// wedged handler, so even with PreemptAbandoned the slot must stay held
+// until the handler actually returns — otherwise timeouts oversubscribe
+// the endpoint.
+func TestExecTimeoutDoesNotPreempt(t *testing.T) {
+	release := make(chan struct{})
+	reg := NewRegistry()
+	reg.Register("wedge", func([]byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	reg.Register("quick", func(p []byte) ([]byte, error) { return p, nil })
+	ep := NewEndpoint(EndpointConfig{
+		Name: "ep", Capacity: 1, WarmTTL: time.Minute,
+		ExecTimeout: 10 * time.Millisecond, PreemptAbandoned: true,
+	}, reg)
+
+	if _, err := ep.Invoke("wedge", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("wedged invoke returned %v, want deadline exceeded", err)
+	}
+	if ep.Preempted() != 0 {
+		t.Fatalf("Preempted = %d after ExecTimeout, want 0", ep.Preempted())
+	}
+
+	// The wedged handler still owns the slot: a bounded wait must fail.
+	qctx, qcancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer qcancel()
+	if _, err := ep.InvokeContext(qctx, "quick", nil); err == nil {
+		t.Fatal("invoke proceeded while a timed-out handler held the slot")
+	}
+
+	// Once the handler returns, the slot comes back.
+	close(release)
+	qctx2, qcancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer qcancel2()
+	if out, err := ep.InvokeContext(qctx2, "quick", []byte("ok")); err != nil || string(out) != "ok" {
+		t.Fatalf("invoke after handler return = %q, %v", out, err)
 	}
 }

@@ -183,6 +183,19 @@ func (b *Breaker) Success() {
 	}
 }
 
+// Cancel reports an admitted call that was abandoned without an outcome
+// — typically a hedged request cancelled because its sibling arm won the
+// race. The endpoint is not at fault, so nothing is recorded against the
+// failure counters; in half-open the admitted probe slot is returned so
+// an abandoned hedge cannot wedge the breaker's recovery.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen && b.inFlight > 0 {
+		b.inFlight--
+	}
+}
+
 // Failure reports a completed call that failed.
 func (b *Breaker) Failure() {
 	b.mu.Lock()

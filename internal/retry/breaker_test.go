@@ -198,3 +198,48 @@ func TestBreakerMultipleHalfOpenProbes(t *testing.T) {
 		t.Fatalf("state = %v after all probe successes", b.State())
 	}
 }
+
+// TestBreakerCancelReturnsHalfOpenProbe is the hedge-interaction
+// regression: an admitted half-open probe that is abandoned (its hedge
+// sibling won, the arm was cancelled) must return its probe slot via
+// Cancel — without tripping, without counting as a success — or the
+// breaker wedges in half-open forever.
+func TestBreakerCancelReturnsHalfOpenProbe(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second, Now: clk.now})
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open refused the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("admitted a second probe (default is 1)")
+	}
+	b.Cancel() // the admitted probe was abandoned, not concluded
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cancel, want half-open (no outcome recorded)", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot not returned: breaker is wedged")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after the real probe succeeded", b.State())
+	}
+}
+
+// TestBreakerCancelNoopWhenClosed: cancelling in closed (or open) state
+// records nothing — it must not reset failure counting or open the gate.
+func TestBreakerCancelNoopWhenClosed(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2})
+	b.Failure()
+	b.Cancel()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open (cancel must not reset the failure count)", b.State())
+	}
+	b.Cancel()
+	if b.Allow() {
+		t.Fatal("cancel re-opened the gate of an open breaker")
+	}
+}

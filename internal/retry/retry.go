@@ -5,6 +5,12 @@
 // real wire/faas stack the matching survival behavior, so "kill an
 // endpoint mid-run" degrades to retries and failover instead of hung or
 // lost requests.
+//
+// The breaker distinguishes failure from abandonment: Failure counts
+// toward tripping, while Cancel records neither success nor failure —
+// it only returns an admitted half-open probe slot. Hedged callers use
+// Cancel for the losing arm of a hedge so that deliberately abandoning
+// a slow-but-healthy endpoint never trips its breaker.
 package retry
 
 import (

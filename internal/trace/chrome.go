@@ -37,11 +37,15 @@ var spanPairs = map[Kind]Kind{
 // chromePid is the single synthetic process all entities live under.
 const chromePid = 1
 
-// WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans are
-// paired per entity and opening kind (LIFO, so nested/retried spans on
-// one entity close innermost-first); unmatched opens extend to the trace
-// end, mirroring busyIntervals. Attempt numbers and details ride along in
-// args, so retry attribution survives into the viewer.
+// WriteChromeTrace writes the trace in Chrome trace-event JSON. Spans
+// are paired per entity and opening kind, preferring the open event with
+// the same attempt number as the close — so concurrent speculative or
+// retried spans of one task on one entity pair with their own replica,
+// not whichever opened last — and falling back to LIFO when no attempt
+// matches (nested spans close innermost-first). Unmatched opens extend
+// to the trace end, mirroring busyIntervals. Attempt numbers and details
+// ride along in args, so retry and hedge attribution survives into the
+// viewer.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	_, end := t.Span()
 
@@ -72,13 +76,24 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		m[e.Kind] = append(m[e.Kind], openSpan{ev: e})
 	}
-	pop := func(entity string, openKind Kind) (openSpan, bool) {
+	pop := func(entity string, openKind Kind, attempt int) (openSpan, bool) {
 		stack := open[entity][openKind]
 		if len(stack) == 0 {
 			return openSpan{}, false
 		}
-		s := stack[len(stack)-1]
-		open[entity][openKind] = stack[:len(stack)-1]
+		// Prefer the open carrying the close's attempt number: concurrent
+		// replicas (speculation) or retries of one task interleave on an
+		// entity, and plain LIFO would cross-pair them. Fall back to the
+		// top of the stack for attempt-less custom kinds.
+		idx := len(stack) - 1
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].ev.Attempt == attempt {
+				idx = i
+				break
+			}
+		}
+		s := stack[idx]
+		open[entity][openKind] = append(stack[:idx], stack[idx+1:]...)
 		return s, true
 	}
 
@@ -105,7 +120,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			continue
 		}
 		if openKind, isClose := closers[e.Kind]; isClose {
-			if s, ok := pop(e.Entity, openKind); ok {
+			if s, ok := pop(e.Entity, openKind, e.Attempt); ok {
 				out = append(out, slice(s.ev, e.Time))
 				continue
 			}

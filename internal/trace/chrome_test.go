@@ -95,6 +95,56 @@ func TestChromeTraceAttemptAttribution(t *testing.T) {
 	}
 }
 
+// TestChromeTraceInterleavedReplicaPairing covers speculative execution:
+// two replicas of one task run concurrently on the SAME entity, and the
+// primary (attempt 0) finishes after the backup (attempt 1). Plain LIFO
+// pairing would close attempt 0's open with attempt 1's end, yielding a
+// 4s and a 1s slice; attempt-preferred pairing must yield the true 2s
+// backup slice and 5s primary slice.
+func TestChromeTraceInterleavedReplicaPairing(t *testing.T) {
+	tr := New(0)
+	tr.RecordAttempt(0, TaskStart, "n1", "job", 0) // primary
+	tr.RecordAttempt(3, TaskStart, "n1", "job", 1) // backup, same entity
+	tr.RecordAttempt(5, TaskEnd, "n1", "job", 1)   // backup wins at 5
+	tr.RecordAttempt(8, TaskEnd, "n1", "job", 0)   // stale primary at 8
+	doc := exportAndParse(t, tr)
+
+	durByAttempt := map[float64]float64{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		a, ok := e.Args["attempt"].(float64)
+		if !ok {
+			t.Fatalf("X event without attempt arg: %+v", e)
+		}
+		durByAttempt[a] = *e.Dur
+	}
+	if durByAttempt[1] != 2*1e6 {
+		t.Fatalf("backup slice dur = %v µs, want 2e6 (cross-paired with the primary?)", durByAttempt[1])
+	}
+	if durByAttempt[0] != 8*1e6 {
+		t.Fatalf("primary slice dur = %v µs, want 8e6", durByAttempt[0])
+	}
+}
+
+// TestChromeTracePreemptInstant: the Preempt kind is not a span closer,
+// so it must export as an instant carrying the losing attempt.
+func TestChromeTracePreemptInstant(t *testing.T) {
+	tr := New(0)
+	tr.RecordAttempt(1, Preempt, "n1", "job", 2)
+	doc := exportAndParse(t, tr)
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "i" && e.Name == string(Preempt) {
+			if a, _ := e.Args["attempt"].(float64); a != 2 {
+				t.Fatalf("preempt instant attempt = %v, want 2", a)
+			}
+			return
+		}
+	}
+	t.Fatal("preempt event missing from export")
+}
+
 func TestChromeTraceUnmatchedStartClosesAtEnd(t *testing.T) {
 	tr := New(0)
 	tr.Record(0, TaskStart, "n", "cut")

@@ -32,6 +32,10 @@ const (
 	ScaleDown     Kind = "scale-down"
 	Failure       Kind = "failure"
 	Repair        Kind = "repair"
+	// Preempt marks a speculative replica whose result was discarded
+	// because a sibling replica delivered first; Attempt identifies which
+	// replica lost.
+	Preempt Kind = "preempt"
 )
 
 // Event is one timestamped record. Matched Start/End kinds form spans;

@@ -11,6 +11,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -200,6 +201,52 @@ func TestLegacyFIFODropsStaleResponse(t *testing.T) {
 	out, err := c.Invoke("upper", []byte("next"))
 	if err != nil || string(out) != "NEXT" {
 		t.Fatalf("call after timeout got %q, %v — stale response misrouted", out, err)
+	}
+}
+
+// TestLegacyFIFODropsCancelledCall: the hedged-request variant of the
+// stale-response regression. A losing hedge arm is CANCELLED (not timed
+// out) while its legacy FIFO entry is outstanding; the entry must be
+// forgotten so the server's eventual ID-less response is dropped instead
+// of being handed to the next wire-order call on the pooled connection.
+func TestLegacyFIFODropsCancelledCall(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var req1, req2 legacyRequest
+		if err := readLegacyFrame(conn, &req1); err != nil {
+			return
+		}
+		// Hold the first answer until the second request arrives — which
+		// only happens after the first call was cancelled client-side —
+		// so the stale response lands while the second call waits.
+		if err := readLegacyFrame(conn, &req2); err != nil {
+			return
+		}
+		writeLegacyFrame(conn, &legacyResponse{OK: true, Payload: bytes.ToUpper(req1.Payload)})
+		writeLegacyFrame(conn, &legacyResponse{OK: true, Payload: bytes.ToUpper(req2.Payload)})
+	}()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	if _, err := c.InvokeContext(ctx, "upper", []byte("loser")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call returned %v, want context.Canceled", err)
+	}
+	out, err := c.Invoke("upper", []byte("winner"))
+	if err != nil || string(out) != "WINNER" {
+		t.Fatalf("call after cancellation got %q, %v — the loser's fifo entry leaked", out, err)
 	}
 }
 

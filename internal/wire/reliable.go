@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"continuum/internal/metrics"
@@ -41,6 +42,11 @@ type ReliableConfig struct {
 	// CallTimeout bounds each round trip (0 = none). Connects are always
 	// bounded by DefaultDialTimeout.
 	CallTimeout time.Duration
+	// Hedge enables hedged requests: a call still in flight after the
+	// hedge delay fires a second identical request at a different
+	// endpoint, the first response wins, and the stale arm is cancelled.
+	// The zero value disables hedging.
+	Hedge HedgeConfig
 	// Metrics, when set, receives the reliability counters:
 	//
 	//	wire_breaker_state{ep}        0 closed, 1 open, 2 half-open
@@ -50,7 +56,48 @@ type ReliableConfig struct {
 	//	                              than the previous try
 	//	wire_conn_reuse_total         calls served by an already-open
 	//	                              pooled connection (vs a fresh dial)
+	//	wire_hedges_total             hedge arms launched
+	//	wire_hedge_wins_total         calls won by the hedge arm
 	Metrics *metrics.Registry
+}
+
+// Hedge defaults.
+const (
+	// DefaultHedgeQuantile is the latency quantile the derived hedge
+	// delay tracks when HedgeConfig.Quantile is zero.
+	DefaultHedgeQuantile = 0.99
+	// DefaultHedgeMinSamples is how many completed calls the derived
+	// delay needs before hedging engages.
+	DefaultHedgeMinSamples = 50
+	// DefaultHedgeMinDelay floors the derived delay so a burst of fast
+	// calls cannot make the client hedge everything.
+	DefaultHedgeMinDelay = time.Millisecond
+)
+
+// HedgeConfig parameterizes hedged requests (see ReliableConfig.Hedge).
+// Hedging attacks tail latency: the slowest fraction of calls — a GC
+// pause, a queue pileup, a cold container on one endpoint — is re-issued
+// elsewhere instead of waited out. Each arm runs under the per-endpoint
+// circuit breakers exactly like a normal call, except that the cancelled
+// loser reports no outcome (the endpoint was not at fault), so hedging
+// cannot double-trip a breaker.
+type HedgeConfig struct {
+	// Enabled turns hedging on. Hedging also requires at least two
+	// endpoints — the hedge arm always targets a different one.
+	Enabled bool
+	// Delay is the fixed in-flight time before the hedge arm fires.
+	// 0 derives the delay from the client's own observed latency
+	// distribution (see Quantile/MinSamples/MinDelay).
+	Delay time.Duration
+	// Quantile is the observed-latency quantile the derived delay tracks
+	// (0 = DefaultHedgeQuantile, i.e. p99: only the slowest ~1% of calls
+	// ever grow a second arm).
+	Quantile float64
+	// MinSamples is how many completed calls the derived delay needs
+	// before hedging engages (0 = DefaultHedgeMinSamples).
+	MinSamples int
+	// MinDelay floors the derived delay (0 = DefaultHedgeMinDelay).
+	MinDelay time.Duration
 }
 
 // repEndpoint is one endpoint's client-side state: a small pool of
@@ -123,7 +170,11 @@ type ReliableClient struct {
 	mu   sync.Mutex
 	next int // round-robin start for the next call
 
-	retries, failovers *metrics.Counter // nil without a registry
+	lat               *metrics.Histogram // completed-call latency, seconds
+	hedges, hedgeWins atomic.Int64
+
+	retries, failovers  *metrics.Counter // nil without a registry
+	hedgesC, hedgeWinsC *metrics.Counter
 }
 
 // NewReliableClient builds a client over the configured endpoints. No
@@ -136,12 +187,14 @@ func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
 	if pool <= 0 {
 		pool = DefaultPoolSize
 	}
-	r := &ReliableClient{cfg: cfg}
+	r := &ReliableClient{cfg: cfg, lat: metrics.NewHistogram()}
 	var reuse *metrics.Counter
 	if cfg.Metrics != nil {
 		r.retries = cfg.Metrics.Counter("wire_client_retries_total")
 		r.failovers = cfg.Metrics.Counter("wire_client_failovers_total")
 		reuse = cfg.Metrics.Counter("wire_conn_reuse_total")
+		r.hedgesC = cfg.Metrics.Counter("wire_hedges_total")
+		r.hedgeWinsC = cfg.Metrics.Counter("wire_hedge_wins_total")
 	}
 	for _, addr := range cfg.Addrs {
 		bc := cfg.Breaker
@@ -194,6 +247,28 @@ func (r *ReliableClient) pick() *repEndpoint {
 	return nil
 }
 
+// settle reports an attempt's outcome to the endpoint's breaker and
+// connection pool. A cancelled arm (the hedge race was decided elsewhere)
+// reports no verdict: the endpoint was not at fault, so the breaker sees
+// Cancel — which only returns an admitted half-open probe slot — and the
+// connection stays pooled (multiplexing cleans up the abandoned call).
+func settle(ep *repEndpoint, c *Client, err error) {
+	if err == nil {
+		ep.breaker.Success()
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		ep.breaker.Cancel()
+		return
+	}
+	ep.breaker.Failure()
+	var re *RemoteError
+	if c != nil && !errors.As(err, &re) {
+		// Transport-level failure: the connection is suspect.
+		ep.discard(c)
+	}
+}
+
 // do runs op against successive endpoints under the retry policy.
 func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
 	var last *repEndpoint
@@ -213,16 +288,11 @@ func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
 		last = ep
 		c, err := ep.get(ctx, r.cfg.CallTimeout)
 		if err != nil {
-			ep.breaker.Failure()
+			settle(ep, nil, err)
 			return err
 		}
 		if err := op(c); err != nil {
-			ep.breaker.Failure()
-			var re *RemoteError
-			if !errors.As(err, &re) {
-				// Transport-level failure: the connection is suspect.
-				ep.discard(c)
-			}
+			settle(ep, c, err)
 			return err
 		}
 		ep.breaker.Success()
@@ -235,19 +305,193 @@ func (r *ReliableClient) Invoke(fn string, payload []byte) ([]byte, error) {
 	return r.InvokeContext(context.Background(), fn, payload)
 }
 
-// InvokeContext calls fn with retry and failover under ctx; ctx bounds
-// the whole retry loop including backoff sleeps.
+// InvokeContext calls fn with retry, failover, and (when configured)
+// hedging under ctx; ctx bounds the whole retry loop including backoff
+// sleeps.
 func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
 	var out []byte
-	err := r.do(ctx, func(c *Client) error {
-		var err error
-		out, err = c.InvokeContext(ctx, fn, payload)
-		return err
+	var last *repEndpoint
+	err := r.policy().Do(ctx, func(attempt int) error {
+		ep := r.pick()
+		if ep == nil {
+			return ErrAllBreakersOpen
+		}
+		if attempt > 0 {
+			if r.retries != nil {
+				r.retries.Inc()
+			}
+			if last != nil && ep != last && r.failovers != nil {
+				r.failovers.Inc()
+			}
+		}
+		last = ep
+		res, err := r.invokeAttempt(ctx, ep, fn, payload)
+		if err != nil {
+			return err
+		}
+		out = res
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// attemptOn runs one call arm against one endpoint and settles its
+// breaker/pool outcome. The breaker Allow for ep has already been spent
+// (by pick or pickOther).
+func (r *ReliableClient) attemptOn(ctx context.Context, ep *repEndpoint, fn string, payload []byte) ([]byte, error) {
+	c, err := ep.get(ctx, r.cfg.CallTimeout)
+	if err != nil {
+		settle(ep, nil, err)
+		return nil, err
+	}
+	start := time.Now()
+	out, err := c.InvokeContext(ctx, fn, payload)
+	settle(ep, c, err)
+	if err != nil {
+		return nil, err
+	}
+	r.lat.Add(time.Since(start).Seconds())
+	return out, nil
+}
+
+// armResult is one arm's outcome in a hedged race.
+type armResult struct {
+	ep  *repEndpoint
+	out []byte
+	err error
+}
+
+// invokeAttempt runs one logical attempt: a single call, or — when the
+// hedge delay elapses with the primary still in flight — a two-arm race
+// against distinct endpoints where the first success wins and the loser
+// is cancelled.
+func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn string, payload []byte) ([]byte, error) {
+	delay, ok := r.hedgeDelay()
+	if !ok {
+		return r.attemptOn(ctx, ep, fn, payload)
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan armResult, 2)
+	arm := func(ep *repEndpoint) {
+		out, err := r.attemptOn(actx, ep, fn, payload)
+		results <- armResult{ep: ep, out: out, err: err}
+	}
+	go arm(ep)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	pending := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			backup := r.pickOther(ep)
+			if backup == nil {
+				continue // no second endpoint admits traffic; race stays 1-arm
+			}
+			r.hedges.Add(1)
+			if r.hedgesC != nil {
+				r.hedgesC.Inc()
+			}
+			pending++
+			go arm(backup)
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				if res.ep != ep {
+					r.hedgeWins.Add(1)
+					if r.hedgeWinsC != nil {
+						r.hedgeWinsC.Inc()
+					}
+				}
+				cancel() // preempt the losing arm; it settles as Cancel
+				return res.out, nil
+			}
+			if firstErr == nil && !errors.Is(res.err, context.Canceled) {
+				firstErr = res.err
+			}
+			if pending == 0 {
+				if firstErr == nil {
+					firstErr = res.err
+				}
+				return nil, firstErr
+			}
+		}
+	}
+}
+
+// pickOther selects an endpoint other than avoid whose breaker admits
+// traffic, rotating round-robin like pick. Returns nil with fewer than
+// two endpoints or when no other breaker allows.
+func (r *ReliableClient) pickOther(avoid *repEndpoint) *repEndpoint {
+	if len(r.eps) < 2 {
+		return nil
+	}
+	r.mu.Lock()
+	start := r.next
+	r.next++
+	r.mu.Unlock()
+	for i := 0; i < len(r.eps); i++ {
+		ep := r.eps[(start+i)%len(r.eps)]
+		if ep == avoid {
+			continue
+		}
+		if ep.breaker.Allow() {
+			return ep
+		}
+	}
+	return nil
+}
+
+// hedgeDelay returns the in-flight time after which a call grows a second
+// arm, and whether hedging applies at all right now. A fixed Delay always
+// applies; a derived delay waits for MinSamples completed calls and then
+// tracks the configured latency quantile, floored at MinDelay.
+func (r *ReliableClient) hedgeDelay() (time.Duration, bool) {
+	h := r.cfg.Hedge
+	if !h.Enabled || len(r.eps) < 2 {
+		return 0, false
+	}
+	if h.Delay > 0 {
+		return h.Delay, true
+	}
+	min := h.MinSamples
+	if min <= 0 {
+		min = DefaultHedgeMinSamples
+	}
+	if r.lat.Count() < int64(min) {
+		return 0, false
+	}
+	q := h.Quantile
+	if q <= 0 {
+		q = DefaultHedgeQuantile
+	}
+	d := time.Duration(r.lat.Quantile(q) * float64(time.Second))
+	floor := h.MinDelay
+	if floor <= 0 {
+		floor = DefaultHedgeMinDelay
+	}
+	if d < floor {
+		d = floor
+	}
+	return d, true
+}
+
+// HedgeStats returns how many hedge arms were launched and how many calls
+// the hedge arm won.
+func (r *ReliableClient) HedgeStats() (launched, wins int64) {
+	return r.hedges.Load(), r.hedgeWins.Load()
 }
 
 // Ping round-trips against any live endpoint.

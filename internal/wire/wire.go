@@ -20,6 +20,13 @@
 // it emits one structured line per request carrying the request ID, so
 // a slow or failing invocation can be correlated across client and
 // server logs.
+//
+// ReliableClient layers retry, failover, per-endpoint circuit breaking,
+// and optional hedging (HedgeConfig) over the raw client: when a call
+// outlives the hedge delay — fixed, or derived from the observed latency
+// quantile — a second arm is launched at a different endpoint, the first
+// answer wins, and the stale arm is cancelled without charging its
+// endpoint's breaker.
 package wire
 
 import (

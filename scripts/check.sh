@@ -33,4 +33,11 @@ echo "== chaos smoke (-race) =="
 # killed mid-run, the reliable client must complete every invocation.
 go test -race -count=1 -run 'TestE2EChaosNoRequestLost|TestDeadlineParitySimAndLive' .
 
+echo "== speculation smoke (-race) =="
+# Tail-latency gate: engine speculation must rescue stragglers without
+# losing or double-completing tasks, and a hedged live client must
+# complete every call exactly once with zero breaker trips.
+go test -race -count=1 -run 'TestSpeculation' ./internal/core
+go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .
+
 echo "check: all gates passed"
