@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke
+.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke scenario-smoke stress
 
 check:
 	./scripts/check.sh
@@ -35,3 +35,15 @@ chaos-smoke:
 spec-smoke:
 	go test -race -count=1 -run 'TestSpeculation' ./internal/core
 	go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .
+
+# Scenario smoke: validate the shipped scenario library, then run one
+# scenario on both backends — simulator and live in-process fleet — under
+# the race detector (also part of `make check`).
+scenario-smoke:
+	go run ./cmd/continuum-sim scenario validate examples/scenarios/*.json
+	go test -race -count=1 -run 'TestScenarioBothBackends' .
+
+# Scale harness: generate a 1000-node scenario, validate it, and run it
+# through the simulator inside a generous CI-safe wall-clock budget.
+stress:
+	go run ./cmd/continuum-sim scenario stress -nodes 1000 -seed 42 -budget 60s

@@ -3,6 +3,14 @@
 //
 // Usage:
 //
+//	continuum-sim scenario validate examples/scenarios/*.json
+//	continuum-sim scenario run -f flash-crowd.json            # sim backend
+//	continuum-sim scenario run -f flash-crowd.json -backend live -time-scale 0.1
+//	continuum-sim scenario stress -nodes 1000 -budget 60s     # scale harness
+//	continuum-sim scenario example                            # documented sample
+//
+// The legacy single-shot flags remain:
+//
 //	continuum-sim -f scenario.json        # run a scenario file
 //	continuum-sim -example                # print a documented sample scenario
 //	continuum-sim -example | continuum-sim -f -
@@ -11,16 +19,17 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-
-	"continuum/internal/scenario"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		scenarioMain(os.Args[2:])
+		return
+	}
 	file := flag.String("f", "", "scenario JSON file ('-' for stdin)")
 	example := flag.Bool("example", false, "print a sample scenario and exit")
 	csv := flag.Bool("csv", false, "emit the report as CSV")
@@ -30,31 +39,16 @@ func main() {
 	flag.Parse()
 
 	if *example {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(scenario.Example()); err != nil {
-			fatal(err)
-		}
+		printExample()
 		return
 	}
 	if *file == "" {
-		fmt.Fprintln(os.Stderr, "continuum-sim: -f scenario.json required (or -example)")
+		fmt.Fprintln(os.Stderr, "continuum-sim: -f scenario.json required (or -example, or the scenario subcommands)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var raw []byte
-	var err error
-	if *file == "-" {
-		raw, err = io.ReadAll(os.Stdin)
-	} else {
-		raw, err = os.ReadFile(*file)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	s, err := scenario.Parse(raw)
+	s, err := loadScenario(*file)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,11 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csv {
-		fmt.Print(report.Table().CSV())
-	} else {
-		fmt.Print(report.Table().String())
-	}
+	printReport(report, *csv)
 	if *gantt > 0 {
 		fmt.Println()
 		fmt.Print(tr.Gantt(*gantt))

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"continuum/internal/scenario"
+)
+
+// scenarioMain dispatches the `continuum-sim scenario <cmd>` subcommand
+// family — the experiment-facing interface to the unified scenario DSL:
+//
+//	continuum-sim scenario validate file.json...   # check without running
+//	continuum-sim scenario run -f file.json        # run (sim or live backend)
+//	continuum-sim scenario stress -nodes 1000      # generated scale harness
+//	continuum-sim scenario example                 # print a documented sample
+func scenarioMain(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "continuum-sim scenario: subcommand required: validate | run | stress | example")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "validate":
+		scenarioValidate(args[1:])
+	case "run":
+		scenarioRun(args[1:])
+	case "stress":
+		scenarioStress(args[1:])
+	case "example":
+		printExample()
+	default:
+		fmt.Fprintf(os.Stderr, "continuum-sim scenario: unknown subcommand %q (want validate | run | stress | example)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func printExample() {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(scenario.Example()); err != nil {
+		fatal(err)
+	}
+}
+
+// scenarioValidate checks every named file and reports all failures
+// before exiting non-zero, so a library sweep shows the full damage.
+func scenarioValidate(args []string) {
+	fs := flag.NewFlagSet("scenario validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "continuum-sim scenario validate: at least one scenario file required")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range fs.Args() {
+		s, err := loadScenario(path)
+		if err == nil {
+			err = s.Validate()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "continuum-sim: %s: %v\n", path, err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s: ok (%s: %d nodes, %d links, %d events)\n",
+			path, s.Name, len(s.Nodes), len(s.Links), len(s.Events))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// scenarioRun executes one scenario on the chosen backend.
+func scenarioRun(args []string) {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	file := fs.String("f", "", "scenario JSON file ('-' for stdin)")
+	backend := fs.String("backend", "sim", "execution backend: sim (virtual time) or live (in-process continuumd fleet)")
+	timeScale := fs.Float64("time-scale", 1, "live backend: wall-clock seconds per scenario second")
+	function := fs.String("function", "", "live backend: builtin each request invokes (default echo)")
+	csv := fs.Bool("csv", false, "emit the report as CSV")
+	gantt := fs.Int("gantt", 0, "sim backend: also print an ASCII busy-timeline of the given width")
+	traceOut := fs.String("trace", "", "sim backend: write the event trace as JSONL to this file")
+	chromeOut := fs.String("chrome-trace", "", "sim backend: write a Chrome trace-event JSON file")
+	fs.Parse(args)
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "continuum-sim scenario run: -f scenario.json required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	s, err := loadScenario(*file)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *backend {
+	case "sim":
+		report, tr, err := s.RunTraced()
+		if err != nil {
+			fatal(err)
+		}
+		printReport(report, *csv)
+		if *gantt > 0 {
+			fmt.Println()
+			fmt.Print(tr.Gantt(*gantt))
+		}
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, tr.WriteJSONL); err != nil {
+				fatal(err)
+			}
+		}
+		if *chromeOut != "" {
+			if err := writeFile(*chromeOut, tr.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+		}
+	case "live":
+		if *gantt > 0 || *traceOut != "" || *chromeOut != "" {
+			fatal(fmt.Errorf("-gantt/-trace/-chrome-trace are simulator exports; the live backend has no virtual-time tracer"))
+		}
+		report, err := scenario.LiveRunner{Options: scenario.LiveOptions{
+			TimeScale: *timeScale,
+			Function:  *function,
+		}}.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(report, *csv)
+		if report.Lost > 0 {
+			fatal(fmt.Errorf("live run lost %d requests", report.Lost))
+		}
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want sim or live)", *backend))
+	}
+}
+
+// scenarioStress generates the large-fleet scenario, optionally dumps
+// it, and runs it on the simulator under a wall-clock budget — the scale
+// gate `make stress` enforces.
+func scenarioStress(args []string) {
+	fs := flag.NewFlagSet("scenario stress", flag.ExitOnError)
+	nodes := fs.Int("nodes", 1000, "total fleet size")
+	seed := fs.Uint64("seed", 42, "scenario seed")
+	budget := fs.Duration("budget", 0, "fail if validate+run exceeds this wall-clock budget (0 = unlimited)")
+	out := fs.String("out", "", "also write the generated scenario JSON to this file")
+	validateOnly := fs.Bool("validate", false, "generate and validate only, skip the run")
+	csv := fs.Bool("csv", false, "emit the report as CSV")
+	fs.Parse(args)
+
+	s := scenario.GenerateStress(scenario.StressSpec{Nodes: *nodes, Seed: *seed})
+	if *out != "" {
+		raw, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		fatal(err)
+	}
+	if *validateOnly {
+		fmt.Printf("%s: ok (%d nodes, %d links, %d events) validated in %v\n",
+			s.Name, len(s.Nodes), len(s.Links), len(s.Events), time.Since(start).Round(time.Millisecond))
+		return
+	}
+	report, err := s.Run()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	printReport(report, *csv)
+	fmt.Printf("\nwall clock: %v\n", elapsed.Round(time.Millisecond))
+	if *budget > 0 && elapsed > *budget {
+		fatal(fmt.Errorf("stress run took %v, budget %v", elapsed.Round(time.Millisecond), *budget))
+	}
+}
+
+func printReport(r *scenario.Report, csv bool) {
+	if csv {
+		fmt.Print(r.Table().CSV())
+	} else {
+		fmt.Print(r.Table().String())
+	}
+}
+
+// loadScenario reads and parses one scenario file ('-' for stdin).
+func loadScenario(path string) (*scenario.Scenario, error) {
+	var raw []byte
+	var err error
+	if path == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Parse(raw)
+}

@@ -61,9 +61,11 @@ func (c *Continuum) AddNode(spec node.Spec) *node.Node {
 // compute attached.
 func (c *Continuum) AddVertex() int { return c.Net.AddNode() }
 
-// Connect links two vertices with a duplex link.
-func (c *Continuum) Connect(a, b int, latency, capacity float64) {
-	c.Net.AddDuplexLink(a, b, latency, capacity)
+// Connect links two vertices with a duplex link and returns both
+// directed halves, so callers that retune links mid-run (scenario
+// link-degradation events) can keep handles to them.
+func (c *Continuum) Connect(a, b int, latency, capacity float64) (ab, ba *netsim.Link) {
+	return c.Net.AddDuplexLink(a, b, latency, capacity)
 }
 
 // EnableFabric attaches a data fabric with a store on every current node.

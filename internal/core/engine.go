@@ -74,20 +74,52 @@ type unit struct {
 	lost func()
 }
 
-// run drives one attempt through the pipeline. Epoch checks bracket the
-// execution: the epoch is sampled at dispatch, re-checked after input
-// staging and after execution, and any advance routes to u.lost with a
-// Failure trace record. TaskDeadline is checked at the same two points
-// against virtual time elapsed since dispatch; an overrun attempt is
-// treated exactly like a lost one. With zero-value options every check
-// is a no-op.
+// run admits one attempt into the pipeline, consulting the Disturb hook
+// first: a drawn delay re-enters late via the kernel, a drawn drop is
+// routed to u.lost exactly like an epoch failure. With a nil hook this
+// is a direct call to dispatch.
+func (e *engine) run(u unit) {
+	if e.opts.Disturb != nil {
+		drop, delay := e.opts.Disturb(u.node)
+		if delay > 0 {
+			e.c.K.After(delay, func() { e.afterDisturb(u, drop) })
+			return
+		}
+		if drop {
+			e.afterDisturb(u, true)
+			return
+		}
+	}
+	e.dispatch(u)
+}
+
+// afterDisturb resumes a disturbed attempt once its injected delay (if
+// any) has elapsed: a dropped attempt is lost like an epoch failure, a
+// merely delayed one enters the pipeline late.
+func (e *engine) afterDisturb(u unit, drop bool) {
+	if drop {
+		e.st.ChaosDrops++
+		e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" chaos", u.attempt)
+		u.lost()
+		return
+	}
+	e.dispatch(u)
+}
+
+// dispatch drives one attempt through the pipeline. Epoch checks bracket
+// the execution: the epoch is sampled at dispatch, re-checked after
+// input staging and after execution, and any advance routes to u.lost
+// with a Failure trace record. TaskDeadline is checked at the same two
+// points against virtual time elapsed since dispatch; an overrun attempt
+// is treated exactly like a lost one. With zero-value options every
+// check is a no-op.
 //
 // Trace spans: a Dispatch instant marks the attempt entering the
 // pipeline, StageStart/StageEnd bracket input staging when data actually
 // moves, and TaskStart/TaskEnd bracket execution — all carrying the
 // attempt number. Every record is nil-safe, so a continuum without a
 // tracer pays only the dead branch inside Tracer.RecordAttempt.
-func (e *engine) run(u unit) {
+func (e *engine) dispatch(u unit) {
 	epoch0 := e.opts.epoch(u.node)
 	start := e.c.K.Now()
 	e.c.Tracer.RecordAttempt(start, trace.Dispatch, u.node.Name, u.task.Name, u.attempt)
@@ -400,7 +432,13 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 
 	for _, j := range jobs {
 		j := j
-		c.K.At(j.Submit, func() { attempt(j, opts.MaxRetries, new(int)) })
+		c.K.At(j.Submit, func() {
+			if e.opts.DropSubmit != nil && e.opts.DropSubmit(j.Origin) {
+				e.st.Suppressed++
+				return
+			}
+			attempt(j, opts.MaxRetries, new(int))
+		})
 	}
 	c.K.Run()
 	e.st.Joules = c.TotalJoules()

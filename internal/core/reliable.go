@@ -32,6 +32,19 @@ type ReliableOptions struct {
 	// It mirrors the live path's wire.HedgeConfig, so simulated and real
 	// runs share one tail-latency semantics.
 	Speculate SpeculateOptions
+	// Disturb, when set, is consulted once per attempt at dispatch: it
+	// may drop the attempt (treated exactly like an epoch loss — the
+	// retry budget applies) and/or delay its entry into the pipeline by
+	// the returned virtual seconds. It is the simulator mirror of the
+	// live path's per-request fault.Chaos draw, so scenario chaos events
+	// mean the same thing on both backends. Nil disturbs nothing.
+	Disturb func(n *node.Node) (drop bool, delay float64)
+	// DropSubmit, when set, is consulted at each stream job's submit
+	// time; returning true silences the submission entirely (counted in
+	// Suppressed, not Lost). It models an origin that is itself down —
+	// a failed gateway generates no traffic — matching the live runner,
+	// which pauses a failed node's request generator. Nil submits all.
+	DropSubmit func(origin int) bool
 }
 
 // SpeculateOptions configures speculative (hedged) execution. A backup
@@ -87,6 +100,13 @@ type ReliableStats struct {
 	// billed — the work physically ran — which is the wasted-work cost of
 	// speculation.
 	PreemptedTasks int64
+	// ChaosDrops counts attempts dropped by the Disturb hook (each one
+	// also consumed a retry or contributed to Lost).
+	ChaosDrops int64
+	// Suppressed counts stream submissions silenced by DropSubmit
+	// (origin down at submit time). They are not failures: the request
+	// was never made, so it appears in neither Completed nor Lost.
+	Suppressed int64
 }
 
 // SuccessRate returns completed/(completed+lost).

@@ -1,0 +1,86 @@
+package faas
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// BuiltinRegistry installs the demonstration functions every continuumd
+// serves: echo, upper, wordcount, matmul (CPU-bound), and sleep
+// (latency experiments). The scenario live runner registers the same
+// set on its in-process fleet, so a scenario exercised against real
+// endpoints invokes exactly what a standalone daemon would serve.
+func BuiltinRegistry() *Registry {
+	reg := NewRegistry()
+
+	reg.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+
+	reg.Register("upper", func(p []byte) ([]byte, error) {
+		return []byte(strings.ToUpper(string(p))), nil
+	})
+
+	// wordcount: returns {"words": n, "bytes": n} for the payload.
+	reg.Register("wordcount", func(p []byte) ([]byte, error) {
+		out := struct {
+			Words int `json:"words"`
+			Bytes int `json:"bytes"`
+		}{len(strings.Fields(string(p))), len(p)}
+		return json.Marshal(out)
+	})
+
+	// matmul: parses {"n": k}, multiplies two k×k matrices, returns a
+	// checksum — a CPU-bound science-ish kernel.
+	reg.Register("matmul", func(p []byte) ([]byte, error) {
+		var in struct {
+			N int `json:"n"`
+		}
+		if err := json.Unmarshal(p, &in); err != nil {
+			return nil, fmt.Errorf("matmul: %w", err)
+		}
+		if in.N <= 0 || in.N > 512 {
+			return nil, fmt.Errorf("matmul: n %d outside (0,512]", in.N)
+		}
+		n := in.N
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = float64(i%7) * 0.5
+			b[i] = float64(i%5) * 0.25
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < n; k++ {
+				aik := a[i*n+k]
+				for j := 0; j < n; j++ {
+					c[i*n+j] += aik * b[k*n+j]
+				}
+			}
+		}
+		sum := 0.0
+		for _, v := range c {
+			sum += v
+		}
+		return json.Marshal(struct {
+			Checksum float64 `json:"checksum"`
+		}{sum})
+	})
+
+	// sleep: parses {"ms": k} and idles — for latency experiments.
+	reg.Register("sleep", func(p []byte) ([]byte, error) {
+		var in struct {
+			MS int `json:"ms"`
+		}
+		if err := json.Unmarshal(p, &in); err != nil {
+			return nil, fmt.Errorf("sleep: %w", err)
+		}
+		if in.MS < 0 || in.MS > 10000 {
+			return nil, fmt.Errorf("sleep: ms %d outside [0,10000]", in.MS)
+		}
+		time.Sleep(time.Duration(in.MS) * time.Millisecond)
+		return []byte(`{"ok":true}`), nil
+	})
+
+	return reg
+}

@@ -1,0 +1,43 @@
+package faas
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinRegistry pins the shared function set: continuumd and the
+// scenario live backend must expose identical builtins, so a scenario
+// that names one runs the same everywhere.
+func TestBuiltinRegistry(t *testing.T) {
+	reg := BuiltinRegistry()
+	for _, name := range []string{"echo", "upper", "wordcount", "matmul", "sleep"} {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+	}
+
+	run := func(name, in string) string {
+		t.Helper()
+		fn, _ := reg.Lookup(name)
+		out, err := fn([]byte(in))
+		if err != nil {
+			t.Fatalf("%s(%q): %v", name, in, err)
+		}
+		return string(out)
+	}
+	if got := run("echo", "hello"); got != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+	if got := run("upper", "hello"); got != "HELLO" {
+		t.Fatalf("upper = %q", got)
+	}
+	if got := run("wordcount", "a b c"); !strings.Contains(got, `"words":3`) {
+		t.Fatalf("wordcount = %q", got)
+	}
+	if got := run("matmul", `{"n":8}`); !strings.Contains(got, "checksum") {
+		t.Fatalf("matmul = %q", got)
+	}
+	if got := run("sleep", `{"ms":1}`); got != `{"ok":true}` {
+		t.Fatalf("sleep = %q", got)
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 )
@@ -184,60 +182,4 @@ func (c *Chaos) Next() (ChaosAction, time.Duration) {
 	default:
 		return ChaosNone, delay
 	}
-}
-
-// ParseChaos parses the -chaos flag syntax: comma-separated key=value
-// pairs, e.g.
-//
-//	drop=0.05,err=0.1,delay=20ms,delayp=0.2,up=10s,down=500ms,seed=1
-//
-// Keys: drop/err/delayp (probabilities), delay (mean latency spike,
-// Go duration), up/down (mean phase lengths, Go durations), seed
-// (int64). Unknown keys are errors so typos fail fast.
-func ParseChaos(s string) (ChaosSpec, error) {
-	var spec ChaosSpec
-	if strings.TrimSpace(s) == "" {
-		return spec, fmt.Errorf("fault: empty chaos spec")
-	}
-	for _, kv := range strings.Split(s, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return spec, fmt.Errorf("fault: chaos term %q is not key=value", kv)
-		}
-		var err error
-		switch k {
-		case "drop":
-			spec.DropProb, err = strconv.ParseFloat(v, 64)
-		case "err":
-			spec.ErrProb, err = strconv.ParseFloat(v, 64)
-		case "delayp":
-			spec.DelayProb, err = strconv.ParseFloat(v, 64)
-		case "delay":
-			var d time.Duration
-			d, err = time.ParseDuration(v)
-			spec.DelayMean = d
-			if spec.DelayProb == 0 {
-				spec.DelayProb = 1 // delay= alone means "every request"
-			}
-		case "up":
-			var d time.Duration
-			d, err = time.ParseDuration(v)
-			spec.MeanUp = d.Seconds()
-		case "down":
-			var d time.Duration
-			d, err = time.ParseDuration(v)
-			spec.MeanDown = d.Seconds()
-		case "seed":
-			spec.Seed, err = strconv.ParseInt(v, 10, 64)
-		default:
-			return spec, fmt.Errorf("fault: unknown chaos key %q", k)
-		}
-		if err != nil {
-			return spec, fmt.Errorf("fault: chaos %s: %w", k, err)
-		}
-	}
-	if err := spec.Validate(); err != nil {
-		return spec, err
-	}
-	return spec, nil
 }

@@ -82,6 +82,22 @@ func (t *Target) Availability() float64 {
 	return 1 - t.Downtime()/now
 }
 
+// NewTarget returns a detached, initially-up target for scripted fault
+// injection: scenario event scripts flip it with Fail and Repair at
+// exact virtual times instead of attaching an MTBF/MTTR process via an
+// Injector. Availability bookkeeping (Downtime, Availability, Epoch)
+// works identically either way.
+func NewTarget(name string, k *sim.Kernel) *Target {
+	return &Target{Name: name, up: true, k: k}
+}
+
+// Fail forces the target down now (idempotent while down): the failure
+// epoch advances, so in-flight work on it is treated as lost.
+func (t *Target) Fail() { t.fail() }
+
+// Repair forces the target up now (idempotent while up).
+func (t *Target) Repair() { t.repair() }
+
 func (t *Target) fail() {
 	if !t.up {
 		return

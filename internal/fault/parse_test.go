@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"continuum/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("up=10s,down=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MeanUp != 10 || s.MeanDown != 0.5 {
+		t.Fatalf("spec = %+v", s)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "empty spec"},
+		{"up=10s,oops", `term "oops" is not key=value`},
+		{"drop=0.5", `unknown key "drop"`}, // chaos-only key in the spec grammar
+		{"up=banana", "up"},
+		{"up=-5s,down=1s", ""}, // Validate rejects negative phases
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) = %q, want mention of %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestSharedGrammarErrorStyle pins the dedup: both parsers come from the
+// same parseTerms core, so the same malformed input yields the same
+// error text whether it arrived via -chaos, a scenario event, or a sim
+// fault spec.
+func TestSharedGrammarErrorStyle(t *testing.T) {
+	_, specErr := ParseSpec("up;10s")
+	_, chaosErr := ParseChaos("up;10s")
+	if specErr == nil || chaosErr == nil {
+		t.Fatal("malformed term accepted")
+	}
+	if specErr.Error() != chaosErr.Error() {
+		t.Fatalf("error style diverged: %q vs %q", specErr, chaosErr)
+	}
+	for _, err := range []error{specErr, chaosErr} {
+		if !strings.HasPrefix(err.Error(), "fault: ") {
+			t.Fatalf("error %q lost the fault: prefix", err)
+		}
+	}
+}
+
+func TestParseChaosWhitespaceTolerant(t *testing.T) {
+	spec, err := ParseChaos(" drop=0.1 , up=2s , down=1s ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DropProb != 0.1 || spec.MeanUp != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestTargetScriptedFailRepair(t *testing.T) {
+	// NewTarget gives scripted (scenario-driven) control over the same
+	// up/down state machine the stochastic injector uses.
+	k := sim.NewKernel()
+	tg := NewTarget("n0", k)
+	if !tg.Up() {
+		t.Fatal("new target not up")
+	}
+	tg.Fail()
+	if tg.Up() {
+		t.Fatal("Fail() left target up")
+	}
+	tg.Fail() // idempotent
+	if tg.Up() {
+		t.Fatal("double Fail() flipped state")
+	}
+	tg.Repair()
+	if !tg.Up() {
+		t.Fatal("Repair() left target down")
+	}
+}

@@ -128,6 +128,23 @@ func (n *Network) AddDuplexLink(a, b int, latency, capacity float64) (ab, ba *Li
 // Links returns all directed links (shared slice; do not mutate).
 func (n *Network) Links() []*Link { return n.links }
 
+// SetLinkParams retunes a link's latency and capacity mid-simulation
+// (scenario link-degradation events). Routing is latency-based, so the
+// shortest-path cache is invalidated; flows already crossing the link
+// keep their negotiated rates until the next flow event recomputes them,
+// matching how a real router change affects in-flight traffic.
+func (n *Network) SetLinkParams(l *Link, latency, capacity float64) {
+	if latency < 0 {
+		panic(fmt.Sprintf("netsim: negative latency %v", latency))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: capacity %v <= 0", capacity))
+	}
+	l.Latency = latency
+	l.Capacity = capacity
+	clear(n.spt)
+}
+
 func (n *Network) checkNode(id int) {
 	if id < 0 || id >= len(n.adj) {
 		panic(fmt.Sprintf("netsim: node %d out of range [0,%d)", id, len(n.adj)))

@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/fault"
+	"continuum/internal/metrics"
+	"continuum/internal/retry"
+	"continuum/internal/wire"
+	"continuum/internal/workload"
+)
+
+// This file is the live backend: every scenario node becomes a real
+// in-process continuumd (a faas endpoint behind a wire server on a
+// loopback TCP listener — the exact composition cmd/continuumd builds
+// from flags), a wire.ReliableClient with retries, failover, and
+// circuit breakers drives the whole fleet, and the compiled event
+// timeline is replayed in wall-clock time: failed nodes drop every
+// request (and stop generating load), chaos events install real
+// fault.Chaos injectors via Server.SetChaos, link degradation becomes
+// injected delay at the endpoints. The claim the e2e gate asserts is
+// the chaos-test claim generalized to whole scenarios: zero lost
+// requests, no matter what the script does to the fleet.
+
+// LiveOptions parameterizes the live backend (see LiveRunner).
+type LiveOptions struct {
+	// TimeScale is wall-clock seconds per scenario second (default 1).
+	// CI smokes use small values (e.g. 0.02) to replay a 30-second
+	// scenario in under a second; event times, arrival gaps, and chaos
+	// phase lengths all scale together.
+	TimeScale float64
+	// Function is the builtin each request invokes (default "echo",
+	// whose response the runner also verifies byte-for-byte).
+	Function string
+	// Capacity is each endpoint's concurrent container slots
+	// (default 16).
+	Capacity int
+	// MaxNodes refuses accidentally huge live fleets (default 128):
+	// every scenario node is a real TCP server, so a 1000-node stress
+	// scenario belongs on the sim backend.
+	MaxNodes int
+}
+
+func (o LiveOptions) timeScale() float64 {
+	if o.TimeScale <= 0 {
+		return 1
+	}
+	return o.TimeScale
+}
+
+func (o LiveOptions) function() string {
+	if o.Function == "" {
+		return "echo"
+	}
+	return o.Function
+}
+
+func (o LiveOptions) capacity() int {
+	if o.Capacity <= 0 {
+		return 16
+	}
+	return o.Capacity
+}
+
+func (o LiveOptions) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return 128
+	}
+	return o.MaxNodes
+}
+
+// liveNode is one in-process continuumd: endpoint, server, listener
+// address, and whether the node is currently scripted as failed (a
+// failed origin generates no traffic, matching the sim's DropSubmit).
+type liveNode struct {
+	name   string
+	addr   string
+	ep     *faas.Endpoint
+	srv    *wire.Server
+	paused atomic.Bool
+}
+
+// startLiveNode boots one node of the fleet on a loopback listener.
+func startLiveNode(name string, capacity int) (*liveNode, error) {
+	reg := faas.BuiltinRegistry()
+	ep := faas.NewEndpoint(faas.EndpointConfig{
+		Name: name, Capacity: capacity, WarmTTL: time.Minute,
+		PreemptAbandoned: true,
+	}, reg)
+	srv := &wire.Server{
+		Invoker: ep, Batcher: ep, Registry: reg,
+		Endpoints: []*faas.Endpoint{ep},
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ep.Close()
+		return nil, fmt.Errorf("scenario: live node %q: %w", name, err)
+	}
+	go srv.Serve(lis)
+	return &liveNode{name: name, addr: lis.Addr().String(), ep: ep, srv: srv}, nil
+}
+
+// RunLive executes the scenario against an in-process continuumd fleet,
+// replaying the compiled event timeline in scaled wall-clock time. It
+// supports stream scenarios only — a DAG has no live execution path —
+// and reports Lost > 0 if any invocation failed through the reliable
+// client (the e2e gate asserts zero).
+func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Stream == nil {
+		return nil, fmt.Errorf("scenario %q: the live backend replays stream scenarios only (DAG workloads are simulator-only)", s.Name)
+	}
+	if len(s.Nodes) > opts.maxNodes() {
+		return nil, fmt.Errorf("scenario %q: %d nodes exceeds the live fleet cap %d (LiveOptions.MaxNodes); use the sim backend for fleets this large", s.Name, len(s.Nodes), opts.maxNodes())
+	}
+	rng := workload.NewRNG(s.Seed)
+	ops, err := s.compile(rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	scale := opts.timeScale()
+	fn := opts.function()
+
+	fleet := make(map[string]*liveNode, len(s.Nodes))
+	var addrs []string
+	shutdown := func() {
+		for _, ln := range fleet {
+			ln.srv.Close()
+			ln.ep.Close()
+		}
+	}
+	for _, nj := range s.Nodes {
+		ln, err := startLiveNode(nj.Name, opts.capacity())
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		fleet[nj.Name] = ln
+		addrs = append(addrs, ln.addr)
+	}
+	defer shutdown()
+
+	m := metrics.NewRegistry()
+	rc, err := wire.NewReliableClient(wire.ReliableConfig{
+		Addrs: addrs,
+		Retry: retry.Policy{
+			MaxAttempts: 12,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+		},
+		Breaker: retry.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         50 * time.Millisecond,
+		},
+		CallTimeout: 2 * time.Second,
+		Metrics:     m,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: live client: %w", s.Name, err)
+	}
+	defer rc.Close()
+
+	start := time.Now()
+	wall := func(at float64) time.Time {
+		return start.Add(time.Duration(at * scale * float64(time.Second)))
+	}
+
+	// Event replay: one goroutine walks the compiled timeline in order.
+	stopReplay := make(chan struct{})
+	var replayDone sync.WaitGroup
+	replayDone.Add(1)
+	go func() {
+		defer replayDone.Done()
+		s.replayOps(fleet, ops, scale, wall, stopReplay)
+	}()
+
+	// Load: one generator per origin, drawing the same seed-derived
+	// arrival schedule (in scenario time) the sim backend uses, scaled
+	// to wall time. Each invocation runs in its own goroutine so a slow
+	// retry storm never delays subsequent arrivals.
+	lat := metrics.NewHistogram()
+	var completed, lost, suppressed atomic.Int64
+	ph := phases(ops)
+	var gens, calls sync.WaitGroup
+	for _, origin := range s.Stream.Origins {
+		arr := workload.NewPiecewise(rng.Split(), s.Stream.RatePerOrigin, ph)
+		ln := fleet[origin]
+		gens.Add(1)
+		go func(ln *liveNode, arr *workload.Piecewise) {
+			defer gens.Done()
+			t, seq := 0.0, 0
+			for {
+				t += arr.Next()
+				if t > s.Stream.Horizon {
+					return
+				}
+				time.Sleep(time.Until(wall(t)))
+				if ln.paused.Load() {
+					suppressed.Add(1) // a down origin generates nothing
+					continue
+				}
+				seq++
+				payload := fmt.Sprintf("%s/%s#%d", s.Name, ln.name, seq)
+				calls.Add(1)
+				go func() {
+					defer calls.Done()
+					t0 := time.Now()
+					out, err := rc.Invoke(fn, []byte(payload))
+					if err != nil || (fn == "echo" && string(out) != payload) {
+						lost.Add(1)
+						return
+					}
+					completed.Add(1)
+					lat.Add(time.Since(t0).Seconds())
+				}()
+			}
+		}(ln, arr)
+	}
+	gens.Wait()
+	calls.Wait()
+	close(stopReplay)
+	replayDone.Wait()
+
+	perNode := make(map[string]int64, len(fleet))
+	for name, ln := range fleet {
+		perNode[name] = ln.ep.Invocations()
+	}
+	return &Report{
+		Scenario:   s.Name,
+		Backend:    "live",
+		Workload:   "live/" + fn,
+		Completed:  completed.Load(),
+		Lost:       lost.Load(),
+		Retries:    int64(m.Counter("wire_client_retries_total").Value()),
+		Suppressed: suppressed.Load(),
+		Makespan:   time.Since(start).Seconds(),
+		MeanLat:    lat.Mean(),
+		P99Lat:     lat.P99(),
+		PerNode:    perNode,
+	}, nil
+}
+
+// replayOps applies the compiled timeline to the fleet at scaled
+// wall-clock times. Node failure is modeled as a drop-everything chaos
+// injector plus a paused generator — the TCP listener stays up, exactly
+// like a wedged-but-reachable endpoint, which is the harder failure for
+// a client to survive (the chaos e2e kills the listener instead; both
+// paths must end in zero losses).
+func (s *Scenario) replayOps(fleet map[string]*liveNode, ops []op, scale float64,
+	wall func(float64) time.Time, stop <-chan struct{}) {
+	for _, o := range ops {
+		timer := time.NewTimer(time.Until(wall(o.at)))
+		select {
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		switch o.kind {
+		case opFail:
+			ln := fleet[o.node]
+			ln.paused.Store(true)
+			ln.srv.SetChaos(fault.NewChaos(fault.ChaosSpec{DropProb: 1, Seed: 1}))
+		case opRepair:
+			ln := fleet[o.node]
+			ln.srv.SetChaos(nil)
+			ln.paused.Store(false)
+		case opChaosOn:
+			fleet[o.node].srv.SetChaos(fault.NewChaos(scaleChaos(o.chaos, scale)))
+		case opChaosOff:
+			fleet[o.node].srv.SetChaos(nil)
+		case opLink:
+			// Approximation: a degraded link becomes injected delay at both
+			// endpoint servers — the wire has no simulated topology to slow
+			// down. The added delay is the extra one-way latency the sim
+			// backend would see on that link.
+			extra := s.linkBase(o.a, o.b).Latency * (o.factor - 1)
+			for _, name := range []string{o.a, o.b} {
+				ln := fleet[name]
+				if o.factor == 1 || extra <= 0 {
+					ln.srv.SetChaos(nil)
+					continue
+				}
+				ln.srv.SetChaos(fault.NewChaos(fault.ChaosSpec{
+					DelayProb: 1,
+					DelayMean: time.Duration(extra * scale * float64(time.Second)),
+					Seed:      1,
+				}))
+			}
+		case opWorkload:
+			// Already compiled into the generators' phase schedule.
+		}
+	}
+}
+
+// scaleChaos converts a chaos spec from scenario time to wall time:
+// phase lengths and delay means stretch by the time scale; per-request
+// probabilities and the seed are time-free and pass through.
+func scaleChaos(spec fault.ChaosSpec, scale float64) fault.ChaosSpec {
+	spec.MeanUp *= scale
+	spec.MeanDown *= scale
+	spec.DelayMean = time.Duration(float64(spec.DelayMean) * scale)
+	return spec
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// liveScenario is a small evented stream scenario sized for fast
+// wall-clock replay: ~8 scenario seconds at TimeScale 0.05 is ~0.4s.
+func liveScenario() *Scenario {
+	s := eventScenario()
+	s.Name = "live-smoke"
+	s.Seed = 11
+	s.Stream.RatePerOrigin = 12
+	s.Stream.Origins = []string{"gw0", "gw1", "gw2"}
+	s.Stream.Horizon = 8
+	s.Events = []EventJSON{
+		{At: 1, Kind: "chaos", Target: "fog", Spec: "drop=0.3,err=0.1", For: 4},
+		{At: 2, Kind: "fail", Target: "gw1", For: 3},
+		{At: 3, Kind: "degrade-link", Target: "fog->cloud", Factor: 3},
+		{At: 5, Kind: "restore-link", Target: "fog->cloud"},
+		{At: 2, Kind: "workload", Factor: 2},
+	}
+	return s
+}
+
+// TestLiveRunnerZeroLost replays a scripted failure scenario against a
+// real in-process fleet and asserts the chaos-e2e claim generalized:
+// the reliable client loses nothing, no matter what the script does.
+func TestLiveRunnerZeroLost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet skipped in -short")
+	}
+	s := liveScenario()
+	r, err := LiveRunner{Options: LiveOptions{TimeScale: 0.05}}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Backend != "live" {
+		t.Fatalf("backend %q", r.Backend)
+	}
+	if r.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if r.Lost != 0 {
+		t.Fatalf("%d requests lost out of %d", r.Lost, r.Completed+r.Lost)
+	}
+	if r.Suppressed == 0 {
+		t.Fatal("failed origin gw1 generated load anyway")
+	}
+	if r.MeanLat <= 0 {
+		t.Fatalf("degenerate latency: %+v", r)
+	}
+	var total int64
+	for _, n := range r.PerNode {
+		total += n
+	}
+	if total < r.Completed {
+		t.Fatalf("per-node invocations %d < completed %d", total, r.Completed)
+	}
+}
+
+func TestLiveRejectsDAG(t *testing.T) {
+	s := eventScenario()
+	s.Stream, s.Events = nil, nil
+	s.DAG = &DAGJSON{Generator: "chain", Size: 4, Scheduler: "heft"}
+	_, err := (&LiveRunner{}).Run(s)
+	if err == nil || !strings.Contains(err.Error(), "stream scenarios only") {
+		t.Fatalf("DAG on live backend: %v", err)
+	}
+}
+
+func TestLiveRejectsHugeFleet(t *testing.T) {
+	s := GenerateStress(StressSpec{Nodes: 1000, Seed: 1})
+	_, err := LiveRunner{Options: LiveOptions{TimeScale: 0.01}}.Run(s)
+	if err == nil || !strings.Contains(err.Error(), "live fleet cap") {
+		t.Fatalf("1000-node live fleet: %v", err)
+	}
+}
+
+func TestRunnerBackendsShareOneScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet skipped in -short")
+	}
+	s := liveScenario()
+	runners := []Runner{SimRunner{}, LiveRunner{Options: LiveOptions{TimeScale: 0.02}}}
+	for _, rn := range runners {
+		r, err := rn.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", rn.Backend(), err)
+		}
+		if r.Backend != rn.Backend() {
+			t.Fatalf("report says %q, runner says %q", r.Backend, rn.Backend())
+		}
+		if r.Completed == 0 {
+			t.Fatalf("%s completed nothing", rn.Backend())
+		}
+	}
+}

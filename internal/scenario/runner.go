@@ -1,0 +1,37 @@
+package scenario
+
+// Runner executes scenarios on one of the two interchangeable backends.
+// The same file means the same experiment on both: the compiled event
+// timeline, the seed-derived arrival schedule, and the chaos draws are
+// shared — only the substrate differs (virtual time over the simulated
+// continuum vs wall-clock time over a real in-process continuumd
+// fleet).
+type Runner interface {
+	// Backend names the substrate: "sim" or "live".
+	Backend() string
+	// Run validates and executes the scenario, returning its report.
+	Run(s *Scenario) (*Report, error)
+}
+
+// SimRunner executes scenarios on the discrete-event simulator.
+type SimRunner struct{}
+
+// Backend returns "sim".
+func (SimRunner) Backend() string { return "sim" }
+
+// Run executes the scenario in virtual time.
+func (SimRunner) Run(s *Scenario) (*Report, error) { return s.Run() }
+
+// LiveRunner executes scenarios against an in-process continuumd fleet.
+type LiveRunner struct {
+	// Options tunes the fleet; the zero value uses the defaults
+	// documented on LiveOptions.
+	Options LiveOptions
+}
+
+// Backend returns "live".
+func (LiveRunner) Backend() string { return "live" }
+
+// Run executes the scenario in wall-clock time (scaled by
+// Options.TimeScale).
+func (r LiveRunner) Run(s *Scenario) (*Report, error) { return s.RunLive(r.Options) }

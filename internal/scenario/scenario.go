@@ -1,6 +1,10 @@
-// Package scenario loads JSON deployment + workload descriptions and runs
-// them through the simulator — the file-driven front door used by
-// cmd/continuum-sim, so experiments can be described without writing Go.
+// Package scenario is the experiment front door: one JSON format
+// describing a deployment (nodes, links), a workload (stream or DAG),
+// and a timed event script — failures, cascades, chaos, link
+// degradation, workload phases — that two interchangeable backends
+// replay from the same file: the discrete-event simulator and a live
+// in-process continuumd fleet (see Runner). A scenario plus its Seed is
+// a complete, bit-reproducible experiment description.
 package scenario
 
 import (
@@ -8,12 +12,10 @@ import (
 	"fmt"
 	"sort"
 
-	"continuum/internal/core"
 	"continuum/internal/metrics"
 	"continuum/internal/node"
 	"continuum/internal/placement"
 	"continuum/internal/task"
-	"continuum/internal/trace"
 	"continuum/internal/workload"
 )
 
@@ -38,6 +40,35 @@ type NodeJSON struct {
 	ActiveWatts   float64    `json:"activeWattsPerCore"`
 	DollarPerHour float64    `json:"dollarPerHour"`
 	EgressPerByte float64    `json:"egressPerByte"`
+}
+
+// spec builds the node.Spec this JSON describes. Both Validate and the
+// backends go through it, so "valid" means exactly "buildable".
+func (nj NodeJSON) spec() (node.Spec, error) {
+	class, err := parseClass(nj.Class)
+	if err != nil {
+		return node.Spec{}, err
+	}
+	spec := node.Spec{
+		Name: nj.Name, Class: class,
+		Cores: nj.Cores, CoreFlops: nj.CoreFlops, MemBytes: nj.MemBytes,
+		IdleWatts: nj.IdleWatts, ActiveWattsCore: nj.ActiveWatts,
+		DollarPerHour: nj.DollarPerHour, EgressPerByte: nj.EgressPerByte,
+	}
+	if nj.Accel != nil {
+		kind, err := parseAccelKind(nj.Accel.Kind)
+		if err != nil {
+			return node.Spec{}, err
+		}
+		spec.Accel = node.Accelerator{
+			Kind: kind, Count: nj.Accel.Count,
+			Flops: nj.Accel.Flops, Watts: nj.Accel.Watts,
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return node.Spec{}, err
+	}
+	return spec, nil
 }
 
 // LinkJSON is a duplex link between two named nodes.
@@ -72,12 +103,32 @@ type DAGJSON struct {
 
 // Scenario is a full run description.
 type Scenario struct {
-	Name   string      `json:"name"`
-	Seed   uint64      `json:"seed"`
-	Nodes  []NodeJSON  `json:"nodes"`
-	Links  []LinkJSON  `json:"links"`
-	Stream *StreamJSON `json:"stream,omitempty"`
-	DAG    *DAGJSON    `json:"dag,omitempty"`
+	Name string `json:"name"`
+	// Seed makes the run bit-reproducible: every random draw — arrival
+	// gaps, cascade victim selection, chaos sequences, DAG shapes — is
+	// derived from it through split sub-streams.
+	Seed uint64 `json:"seed"`
+	// Retries bounds per-job re-dispatches when faults are in play.
+	// Zero defaults to 10 when the scenario has events, else 0 (a
+	// fault-free scenario never retries anyway).
+	Retries int         `json:"retries,omitempty"`
+	Nodes   []NodeJSON  `json:"nodes"`
+	Links   []LinkJSON  `json:"links"`
+	Stream  *StreamJSON `json:"stream,omitempty"`
+	DAG     *DAGJSON    `json:"dag,omitempty"`
+	// Events is the timed script both backends replay; see EventJSON.
+	Events []EventJSON `json:"events,omitempty"`
+}
+
+// retries returns the effective retry budget (see the Retries field).
+func (s *Scenario) retries() int {
+	if s.Retries > 0 {
+		return s.Retries
+	}
+	if len(s.Events) > 0 {
+		return 10
+	}
+	return 0
 }
 
 // Parse decodes and validates a scenario.
@@ -92,55 +143,89 @@ func Parse(b []byte) (*Scenario, error) {
 	return &s, nil
 }
 
-// Validate checks structural consistency.
+// Validate checks the whole description and reports the first problem
+// with a positional message (nodes[i], links[i], events[i]), so a bad
+// file fails at validate time — never as a panic mid-run.
 func (s *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
 	if len(s.Nodes) == 0 {
-		return fmt.Errorf("scenario %q: no nodes", s.Name)
+		return fail("no nodes")
 	}
-	names := make(map[string]bool)
-	for _, n := range s.Nodes {
+	names := make(map[string]int) // name → first index, for duplicate reporting
+	for i, n := range s.Nodes {
 		if n.Name == "" {
-			return fmt.Errorf("scenario %q: node with empty name", s.Name)
+			return fail("nodes[%d]: empty name", i)
 		}
-		if names[n.Name] {
-			return fmt.Errorf("scenario %q: duplicate node %q", s.Name, n.Name)
+		if j, dup := names[n.Name]; dup {
+			return fail("nodes[%d] (%q): duplicate of nodes[%d]", i, n.Name, j)
 		}
-		names[n.Name] = true
-		if _, err := parseClass(n.Class); err != nil {
-			return err
+		names[n.Name] = i
+		if _, err := n.spec(); err != nil {
+			return fail("nodes[%d] (%q): %v", i, n.Name, err)
 		}
 	}
-	for _, l := range s.Links {
-		if !names[l.A] || !names[l.B] {
-			return fmt.Errorf("scenario %q: link %s-%s references unknown node", s.Name, l.A, l.B)
+	for i, l := range s.Links {
+		for _, end := range []string{l.A, l.B} {
+			if _, ok := names[end]; !ok {
+				return fail("links[%d] (%s-%s): endpoint %q is not a defined node", i, l.A, l.B, end)
+			}
+		}
+		if l.A == l.B {
+			return fail("links[%d]: self-link %q", i, l.A)
+		}
+		if l.Latency < 0 {
+			return fail("links[%d] (%s-%s): negative latency %v", i, l.A, l.B, l.Latency)
+		}
+		if l.Capacity <= 0 {
+			return fail("links[%d] (%s-%s): capacity %v must be positive", i, l.A, l.B, l.Capacity)
 		}
 	}
 	if s.Stream == nil && s.DAG == nil {
-		return fmt.Errorf("scenario %q: no workload (stream or dag)", s.Name)
+		return fail("no workload (stream or dag)")
 	}
 	if s.Stream != nil && s.DAG != nil {
-		return fmt.Errorf("scenario %q: both stream and dag specified", s.Name)
+		return fail("both stream and dag specified")
 	}
 	if s.Stream != nil {
 		if _, err := parsePolicy(s.Stream.Policy, workload.NewRNG(0)); err != nil {
-			return err
+			return fail("stream: %v", err)
 		}
-		for _, o := range s.Stream.Origins {
-			if !names[o] {
-				return fmt.Errorf("scenario %q: origin %q unknown", s.Name, o)
+		if len(s.Stream.Origins) == 0 {
+			return fail("stream: no origins")
+		}
+		for i, o := range s.Stream.Origins {
+			if _, ok := names[o]; !ok {
+				return fail("stream origins[%d]: %q is not a defined node", i, o)
 			}
 		}
 		if s.Stream.RatePerOrigin <= 0 || s.Stream.Horizon <= 0 {
-			return fmt.Errorf("scenario %q: stream rate and horizon must be positive", s.Name)
+			return fail("stream: rate and horizon must be positive (got %v, %v)",
+				s.Stream.RatePerOrigin, s.Stream.Horizon)
+		}
+		if s.Stream.Accel != "" {
+			if _, err := parseAccelKind(s.Stream.Accel); err != nil {
+				return fail("stream: %v", err)
+			}
 		}
 	}
 	if s.DAG != nil {
 		if _, err := dagGen(s.DAG, workload.NewRNG(0)); err != nil {
-			return err
+			return fail("dag: %v", err)
 		}
 		if _, err := parseScheduler(s.DAG.Scheduler); err != nil {
-			return err
+			return fail("dag: %v", err)
 		}
+	}
+	if s.Retries < 0 {
+		return fail("retries %d must be >= 0", s.Retries)
+	}
+	// Compiling the event script performs all per-event validation; the
+	// throwaway RNG only feeds draws (cascade victim picks), never
+	// validity.
+	if _, err := s.compile(workload.NewRNG(0)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -151,7 +236,7 @@ func parseClass(s string) (node.Class, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown node class %q", s)
+	return 0, fmt.Errorf("unknown node class %q", s)
 }
 
 func parseAccelKind(s string) (node.AccelKind, error) {
@@ -160,7 +245,7 @@ func parseAccelKind(s string) (node.AccelKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("scenario: unknown accel kind %q", s)
+	return 0, fmt.Errorf("unknown accel kind %q", s)
 }
 
 func parsePolicy(name string, rng *workload.RNG) (placement.Policy, error) {
@@ -182,7 +267,7 @@ func parsePolicy(name string, rng *workload.RNG) (placement.Policy, error) {
 	case "random":
 		return placement.Random{RNG: rng}, nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown policy %q", name)
+		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }
 
@@ -209,7 +294,7 @@ func parseScheduler(name string) (func(*placement.Env, *task.DAG, *workload.RNG)
 			return placement.ListRandom(e, d, rng)
 		}, nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown scheduler %q", name)
+		return nil, fmt.Errorf("unknown scheduler %q", name)
 	}
 }
 
@@ -242,41 +327,67 @@ func dagGen(dj *DAGJSON, rng *workload.RNG) (*task.DAG, error) {
 	case "cybershake":
 		return task.CyberShakeLike(rng, size, spec), nil
 	default:
-		return nil, fmt.Errorf("scenario: unknown DAG generator %q", dj.Generator)
+		return nil, fmt.Errorf("unknown DAG generator %q", dj.Generator)
 	}
 }
 
-// Report is the outcome of a scenario run, renderable as a table.
+// Report is the outcome of a scenario run on either backend, renderable
+// as a table. Fields have fixed JSON-marshalable types so two runs with
+// the same seed produce byte-identical marshaled reports — the
+// determinism regression test relies on that.
 //
-// MeanLat/P99Lat summarize core.Stats.Latency, so their meaning follows
-// the workload kind: submit→reply seconds for stream scenarios, per-task
-// ready→finish seconds for DAG scenarios (see core.Stats).
+// MeanLat/P99Lat summarize the latency distribution; the meaning follows
+// the workload kind and backend: submit→reply virtual seconds for
+// simulated streams, per-task ready→finish for simulated DAGs, and
+// wall-clock invoke→reply seconds for live runs.
 type Report struct {
-	Scenario  string
+	Scenario string
+	// Backend is "sim" or "live".
+	Backend   string
 	Workload  string
 	Completed int64
-	Makespan  float64
-	MeanLat   float64
-	P99Lat    float64
-	Joules    float64
-	Dollars   float64
-	EgressB   float64
-	PerNode   map[string]int64
+	// Lost counts requests abandoned after exhausting retries (sim) or
+	// invocations that errored through the reliable client (live). The
+	// live e2e gate asserts it is zero.
+	Lost int64
+	// Retries counts re-dispatches on either backend.
+	Retries int64
+	// Suppressed counts stream submissions silenced because their origin
+	// was down at submit time (a failed gateway generates no traffic).
+	Suppressed int64
+	Makespan   float64
+	MeanLat    float64
+	P99Lat     float64
+	Joules     float64
+	Dollars    float64
+	EgressB    float64
+	PerNode    map[string]int64
 }
 
 // Table renders the report.
 func (r *Report) Table() *metrics.Table {
 	t := metrics.NewTable(
-		fmt.Sprintf("scenario %q (%s)", r.Scenario, r.Workload),
+		fmt.Sprintf("scenario %q (%s, %s)", r.Scenario, r.Workload, r.Backend),
 		"metric", "value",
 	)
 	t.AddRow("completed", fmt.Sprintf("%d", r.Completed))
+	t.AddRow("lost", fmt.Sprintf("%d", r.Lost))
+	t.AddRow("retries", fmt.Sprintf("%d", r.Retries))
+	if r.Suppressed > 0 {
+		t.AddRow("suppressed", fmt.Sprintf("%d", r.Suppressed))
+	}
 	t.AddRow("makespan", metrics.FormatDuration(r.Makespan))
 	t.AddRow("mean latency", metrics.FormatDuration(r.MeanLat))
 	t.AddRow("p99 latency", metrics.FormatDuration(r.P99Lat))
-	t.AddRow("energy", fmt.Sprintf("%.1f J", r.Joules))
-	t.AddRow("cost", fmt.Sprintf("$%.6f", r.Dollars))
-	t.AddRow("egress", metrics.FormatBytes(r.EgressB))
+	if r.Joules > 0 {
+		t.AddRow("energy", fmt.Sprintf("%.1f J", r.Joules))
+	}
+	if r.Dollars > 0 {
+		t.AddRow("cost", fmt.Sprintf("$%.6f", r.Dollars))
+	}
+	if r.EgressB > 0 {
+		t.AddRow("egress", metrics.FormatBytes(r.EgressB))
+	}
 	names := make([]string, 0, len(r.PerNode))
 	for name := range r.PerNode {
 		names = append(names, name)
@@ -288,134 +399,9 @@ func (r *Report) Table() *metrics.Table {
 	return t
 }
 
-// Run builds the continuum and executes the workload.
-func (s *Scenario) Run() (*Report, error) {
-	r, _, err := s.RunTraced()
-	return r, err
-}
-
-// RunTraced is Run plus the event trace of the execution, for timeline
-// rendering (continuum-sim -gantt).
-func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
-	if err := s.Validate(); err != nil {
-		return nil, nil, err
-	}
-	rng := workload.NewRNG(s.Seed)
-
-	c := core.New()
-	c.Tracer = trace.New(1 << 20)
-	byName := make(map[string]*node.Node)
-	for _, nj := range s.Nodes {
-		class, _ := parseClass(nj.Class)
-		spec := node.Spec{
-			Name: nj.Name, Class: class,
-			Cores: nj.Cores, CoreFlops: nj.CoreFlops, MemBytes: nj.MemBytes,
-			IdleWatts: nj.IdleWatts, ActiveWattsCore: nj.ActiveWatts,
-			DollarPerHour: nj.DollarPerHour, EgressPerByte: nj.EgressPerByte,
-		}
-		if nj.Accel != nil {
-			kind, err := parseAccelKind(nj.Accel.Kind)
-			if err != nil {
-				return nil, nil, err
-			}
-			spec.Accel = node.Accelerator{
-				Kind: kind, Count: nj.Accel.Count,
-				Flops: nj.Accel.Flops, Watts: nj.Accel.Watts,
-			}
-		}
-		if err := spec.Validate(); err != nil {
-			return nil, nil, err
-		}
-		byName[nj.Name] = c.AddNode(spec)
-	}
-	for _, lj := range s.Links {
-		c.Connect(byName[lj.A].ID, byName[lj.B].ID, lj.Latency, lj.Capacity)
-	}
-	if err := c.Validate(); err != nil {
-		return nil, nil, err
-	}
-
-	var rep *Report
-	var err error
-	if s.Stream != nil {
-		rep, err = s.runStream(c, byName, rng)
-	} else {
-		rep, err = s.runDAG(c, rng)
-	}
-	return rep, c.Tracer, err
-}
-
-func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rng *workload.RNG) (*Report, error) {
-	pol, err := parsePolicy(s.Stream.Policy, rng.Split())
-	if err != nil {
-		return nil, err
-	}
-	accel := node.NoAccel
-	if s.Stream.Accel != "" {
-		if accel, err = parseAccelKind(s.Stream.Accel); err != nil {
-			return nil, err
-		}
-	}
-	var jobs []core.StreamJob
-	for _, origin := range s.Stream.Origins {
-		arr := workload.NewPoisson(rng.Split(), s.Stream.RatePerOrigin)
-		t := 0.0
-		for {
-			t += arr.Next()
-			if t > s.Stream.Horizon {
-				break
-			}
-			jobs = append(jobs, core.StreamJob{
-				Task: &task.Task{
-					Name:        "job",
-					ScalarWork:  s.Stream.ScalarWork,
-					TensorWork:  s.Stream.TensorWork,
-					Accel:       accel,
-					OutputBytes: s.Stream.OutputBytes,
-					Inputs:      []task.DataRef{{Name: "in", Bytes: s.Stream.InputBytes}},
-				},
-				Origin: byName[origin].ID,
-				Submit: t,
-			})
-		}
-	}
-	st := c.RunStream(pol, jobs, nil)
-	return reportFromStats(s.Name, "stream/"+s.Stream.Policy, st), nil
-}
-
-func (s *Scenario) runDAG(c *core.Continuum, rng *workload.RNG) (*Report, error) {
-	d, err := dagGen(s.DAG, rng.Split())
-	if err != nil {
-		return nil, err
-	}
-	schedule, err := parseScheduler(s.DAG.Scheduler)
-	if err != nil {
-		return nil, err
-	}
-	env := c.Env()
-	st, err := c.RunDAG(d, schedule(env, d, rng.Split()), env)
-	if err != nil {
-		return nil, err
-	}
-	return reportFromStats(s.Name, "dag/"+s.DAG.Generator+"/"+s.DAG.Scheduler, st), nil
-}
-
-func reportFromStats(name, workloadDesc string, st *core.Stats) *Report {
-	return &Report{
-		Scenario:  name,
-		Workload:  workloadDesc,
-		Completed: st.Completed,
-		Makespan:  st.Makespan,
-		MeanLat:   st.Latency.Mean(),
-		P99Lat:    st.Latency.P99(),
-		Joules:    st.Joules,
-		Dollars:   st.Dollars,
-		EgressB:   st.EgressB,
-		PerNode:   st.PerNode,
-	}
-}
-
-// Example returns a documented sample scenario (used by -example).
+// Example returns a documented sample scenario (used by `scenario
+// example`): a metro IoT deployment with a mid-run flash crowd and a
+// brief fog outage.
 func Example() *Scenario {
 	return &Scenario{
 		Name: "metro-iot",
@@ -438,6 +424,11 @@ func Example() *Scenario {
 			Policy: "greedy-latency", Origins: []string{"gw0", "gw1"},
 			RatePerOrigin: 10, Horizon: 30,
 			ScalarWork: 5e8, InputBytes: 1024, OutputBytes: 128,
+		},
+		Events: []EventJSON{
+			{At: 8, Kind: "workload", Factor: 3},
+			{At: 12, Kind: "fail", Target: "fog", For: 5},
+			{At: 20, Kind: "workload", Factor: 1},
 		},
 	}
 }

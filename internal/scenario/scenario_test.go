@@ -83,7 +83,7 @@ func TestValidateCatchesErrors(t *testing.T) {
 
 func TestDAGScenarioRuns(t *testing.T) {
 	s := Example()
-	s.Stream = nil
+	s.Stream, s.Events = nil, nil
 	s.DAG = &DAGJSON{Generator: "montage", Size: 8, Scheduler: "heft", MeanWork: 1e10, MeanBytes: 1e6}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
@@ -105,7 +105,7 @@ func TestAllGeneratorsAndSchedulersRun(t *testing.T) {
 	for _, gen := range []string{"chain", "fanoutin", "layered", "montage", "epigenomics", "cybershake"} {
 		for _, sched := range []string{"heft", "cpop", "greedy", "roundrobin", "random"} {
 			s := Example()
-			s.Stream = nil
+			s.Stream, s.Events = nil, nil
 			s.DAG = &DAGJSON{Generator: gen, Size: 6, Scheduler: sched}
 			r, err := s.Run()
 			if err != nil {

@@ -1,0 +1,324 @@
+package scenario
+
+import (
+	"continuum/internal/core"
+	"continuum/internal/fault"
+	"continuum/internal/netsim"
+	"continuum/internal/node"
+	"continuum/internal/task"
+	"continuum/internal/trace"
+	"continuum/internal/workload"
+)
+
+// This file is the simulator backend: the compiled event timeline is
+// injected into the discrete-event engine as kernel-scheduled fault
+// flips, per-attempt Disturb draws, link retunes, and a piecewise
+// arrival schedule. The live backend (live.go) replays the identical
+// timeline against real endpoints; keeping both behind the same compile
+// step is what makes one scenario file mean one experiment.
+
+// Run executes the scenario on the simulator backend.
+func (s *Scenario) Run() (*Report, error) {
+	r, _, err := s.RunTraced()
+	return r, err
+}
+
+// RunTraced is Run plus the event trace of the execution, for timeline
+// rendering (continuum-sim -gantt).
+func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := workload.NewRNG(s.Seed)
+	ops, err := s.compile(rng.Split())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	c := core.New()
+	c.Tracer = trace.New(1 << 20)
+	byName := make(map[string]*node.Node)
+	for _, nj := range s.Nodes {
+		spec, err := nj.spec()
+		if err != nil {
+			return nil, nil, err // unreachable after Validate
+		}
+		byName[nj.Name] = c.AddNode(spec)
+	}
+	links := make(map[string][2]*netsim.Link)
+	for _, lj := range s.Links {
+		ab, ba := c.Connect(byName[lj.A].ID, byName[lj.B].ID, lj.Latency, lj.Capacity)
+		links[linkKey(lj.A, lj.B)] = [2]*netsim.Link{ab, ba}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	opts := core.ReliableOptions{MaxRetries: s.retries()}
+	horizon := 0.0
+	if s.Stream != nil {
+		horizon = s.Stream.Horizon
+	}
+	s.installEvents(c, byName, links, ops, rng.Split(), horizon, &opts)
+
+	var rep *Report
+	if s.Stream != nil {
+		rep, err = s.runStream(c, byName, rng, ops, opts)
+	} else {
+		rep, err = s.runDAG(c, rng, opts)
+	}
+	return rep, c.Tracer, err
+}
+
+// simChaos is one node's active per-request injection state on the sim
+// backend. Drop and err draws both mean "attempt lost" — the simulator
+// has no response channel to answer an injected error on, and both are
+// retryable failures to the engine — while delay draws defer the
+// attempt's entry into the pipeline, mirroring the live server sleeping
+// before dispatch.
+type simChaos struct {
+	active  bool
+	cycling bool // an up/down phase machine currently drives the fault target
+	spec    fault.ChaosSpec
+	rng     *workload.RNG
+}
+
+// installEvents wires the compiled timeline into the kernel and the
+// engine options: scripted fail/repair flips on fault targets, chaos
+// state machines (per-request draws via the Disturb hook, up/down
+// cycling via scheduled exponential flips), link retunes, and origin
+// silencing while an origin is down. Workload ops are not scheduled
+// here — they become the arrival processes' phase schedule.
+func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node,
+	links map[string][2]*netsim.Link, ops []op, rng *workload.RNG,
+	horizon float64, opts *core.ReliableOptions) {
+	if len(ops) == 0 {
+		return
+	}
+	targets := make(map[string]*fault.Target)
+	target := func(name string) *fault.Target {
+		t, ok := targets[name]
+		if !ok {
+			t = fault.NewTarget(name, c.K)
+			targets[name] = t
+			if opts.Faults == nil {
+				opts.Faults = make(map[int]*fault.Target)
+			}
+			opts.Faults[byName[name].ID] = t
+		}
+		return t
+	}
+	chaos := make(map[int]*simChaos)
+	chaosFor := func(name string) *simChaos {
+		id := byName[name].ID
+		sc, ok := chaos[id]
+		if !ok {
+			sc = &simChaos{}
+			chaos[id] = sc
+		}
+		return sc
+	}
+	for _, o := range ops {
+		o := o
+		switch o.kind {
+		case opFail:
+			t := target(o.node)
+			c.K.At(o.at, func() {
+				c.Tracer.Record(o.at, trace.Failure, o.node, "scripted fail")
+				t.Fail()
+			})
+		case opRepair:
+			t := target(o.node)
+			c.K.At(o.at, func() {
+				c.Tracer.Record(o.at, trace.Repair, o.node, "scripted repair")
+				t.Repair()
+			})
+		case opChaosOn:
+			sc := chaosFor(o.node)
+			srng := rng.Split()
+			cycling := o.chaos.MeanUp > 0
+			c.K.At(o.at, func() {
+				sc.active, sc.cycling, sc.spec, sc.rng = true, cycling, o.chaos, srng
+			})
+			if cycling {
+				stop := chaosStop(ops, o, horizon)
+				scheduleCycle(c, target(o.node), o.chaos.Spec, o.at, stop, rng.Split())
+			}
+		case opChaosOff:
+			sc := chaosFor(o.node)
+			t := target(o.node)
+			c.K.At(o.at, func() {
+				// A cycling phase machine may have left the node down with
+				// its repair beyond the stop bound; chaos-off heals it.
+				if sc.cycling {
+					t.Repair()
+				}
+				sc.active, sc.cycling = false, false
+			})
+		case opLink:
+			pair, base := links[linkKey(o.a, o.b)], s.linkBase(o.a, o.b)
+			c.K.At(o.at, func() {
+				for _, l := range pair {
+					c.Net.SetLinkParams(l, base.Latency*o.factor, base.Capacity/o.factor)
+				}
+			})
+		case opWorkload:
+			// Compiled into the arrival processes' phase schedule instead.
+		}
+	}
+	if len(chaos) > 0 {
+		opts.Disturb = func(n *node.Node) (bool, float64) {
+			sc, ok := chaos[n.ID]
+			if !ok || !sc.active {
+				return false, 0
+			}
+			var delay float64
+			if p := sc.spec.DelayProb; p > 0 && sc.spec.DelayMean > 0 && sc.rng.Float64() < p {
+				delay = sc.rng.Exp(1 / sc.spec.DelayMean.Seconds())
+			}
+			drop := false
+			if p := sc.spec.DropProb + sc.spec.ErrProb; p > 0 && sc.rng.Float64() < p {
+				drop = true
+			}
+			return drop, delay
+		}
+	}
+	if s.Stream != nil && opts.Faults != nil {
+		faults := opts.Faults
+		opts.DropSubmit = func(origin int) bool {
+			t, ok := faults[origin]
+			return ok && !t.Up()
+		}
+	}
+}
+
+// linkBase returns the scenario's declared parameters for a link, the
+// baseline degrade-link multiplies and restore-link returns to.
+func (s *Scenario) linkBase(a, b string) LinkJSON {
+	for _, l := range s.Links {
+		if l.A == a && l.B == b {
+			return l
+		}
+	}
+	return LinkJSON{} // unreachable: compile resolved the link
+}
+
+// chaosStop returns when a cycling chaos op's phase machine must stop
+// scheduling: the node's next chaos-off if scripted, else the stream
+// horizon (DAG scenarios are validated to always have a bound — an
+// unbounded cycle would keep the kernel's queue nonempty forever).
+func chaosStop(ops []op, on op, horizon float64) float64 {
+	for _, o := range ops {
+		if o.kind == opChaosOff && o.node == on.node && o.at >= on.at {
+			return o.at
+		}
+	}
+	if horizon > on.at {
+		return horizon
+	}
+	return on.at
+}
+
+// scheduleCycle drives a chaos event's up/down availability machine on
+// the simulation clock: exponentially distributed phases (the Injector's
+// MTBF/MTTR model) flipping the node's fault target between from and
+// stop. Like the Injector, events beyond the bound are not scheduled
+// and the target keeps its final state — chaos-off repairs it.
+func scheduleCycle(c *core.Continuum, t *fault.Target, spec fault.Spec, from, stop float64, rng *workload.RNG) {
+	var scheduleFail, scheduleRepair func(now float64)
+	at := func(when float64, fn func()) {
+		if when <= stop {
+			c.K.At(when, fn)
+		}
+	}
+	scheduleFail = func(now float64) {
+		when := now + rng.Exp(1/spec.MeanUp)
+		at(when, func() {
+			t.Fail()
+			scheduleRepair(when)
+		})
+	}
+	scheduleRepair = func(now float64) {
+		when := now + rng.Exp(1/spec.MeanDown)
+		at(when, func() {
+			t.Repair()
+			scheduleFail(when)
+		})
+	}
+	scheduleFail(from)
+}
+
+func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rng *workload.RNG, ops []op, opts core.ReliableOptions) (*Report, error) {
+	pol, err := parsePolicy(s.Stream.Policy, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	accel := node.NoAccel
+	if s.Stream.Accel != "" {
+		if accel, err = parseAccelKind(s.Stream.Accel); err != nil {
+			return nil, err
+		}
+	}
+	ph := phases(ops)
+	var jobs []core.StreamJob
+	for _, origin := range s.Stream.Origins {
+		arr := workload.NewPiecewise(rng.Split(), s.Stream.RatePerOrigin, ph)
+		t := 0.0
+		for {
+			t += arr.Next()
+			if t > s.Stream.Horizon {
+				break
+			}
+			jobs = append(jobs, core.StreamJob{
+				Task: &task.Task{
+					Name:        "job",
+					ScalarWork:  s.Stream.ScalarWork,
+					TensorWork:  s.Stream.TensorWork,
+					Accel:       accel,
+					OutputBytes: s.Stream.OutputBytes,
+					Inputs:      []task.DataRef{{Name: "in", Bytes: s.Stream.InputBytes}},
+				},
+				Origin: byName[origin].ID,
+				Submit: t,
+			})
+		}
+	}
+	st := c.RunStreamReliable(pol, jobs, nil, opts)
+	return reportFromStats(s.Name, "stream/"+s.Stream.Policy, st), nil
+}
+
+func (s *Scenario) runDAG(c *core.Continuum, rng *workload.RNG, opts core.ReliableOptions) (*Report, error) {
+	d, err := dagGen(s.DAG, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	schedule, err := parseScheduler(s.DAG.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	env := c.Env()
+	st, err := c.RunDAGReliable(d, schedule(env, d, rng.Split()), env, opts)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromStats(s.Name, "dag/"+s.DAG.Generator+"/"+s.DAG.Scheduler, st), nil
+}
+
+func reportFromStats(name, workloadDesc string, st *core.ReliableStats) *Report {
+	return &Report{
+		Scenario:   name,
+		Backend:    "sim",
+		Workload:   workloadDesc,
+		Completed:  st.Completed,
+		Lost:       st.Lost,
+		Retries:    st.Retries,
+		Suppressed: st.Suppressed,
+		Makespan:   st.Makespan,
+		MeanLat:    st.Latency.Mean(),
+		P99Lat:     st.Latency.P99(),
+		Joules:     st.Joules,
+		Dollars:    st.Dollars,
+		EgressB:    st.EgressB,
+		PerNode:    st.PerNode,
+	}
+}

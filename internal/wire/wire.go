@@ -195,8 +195,15 @@ type Server struct {
 	// down phases (see fault.ChaosSpec). Injections are counted as
 	// wire_chaos_injections_total{kind} when Metrics is set. This is how
 	// a real daemon doubles as its own fault injector for end-to-end
-	// reliability tests (continuumd -chaos).
+	// reliability tests (continuumd -chaos). Set it before Serve; to
+	// change injection while serving, use SetChaos.
 	Chaos *fault.Chaos
+
+	// chaosOverride, once SetChaos has been called, supersedes Chaos for
+	// every subsequent request. It holds a slot rather than the *Chaos
+	// itself so "override with nil" (chaos off) is distinguishable from
+	// "never overridden" (fall back to the Chaos field).
+	chaosOverride atomic.Pointer[chaosSlot]
 
 	inflightOnce sync.Once
 	inflight     *metrics.Gauge // wire_inflight, nil without Metrics
@@ -447,8 +454,8 @@ func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
 		}
 	}
 	var resp *Response
-	if s.Chaos != nil {
-		act, delay := s.Chaos.Next()
+	if chaos := s.chaos(); chaos != nil {
+		act, delay := chaos.Next()
 		if delay > 0 {
 			s.countChaos("delay")
 			time.Sleep(delay)
@@ -481,6 +488,27 @@ func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
 	if err == nil {
 		s.observe(req, resp, time.Since(start), inB, outB)
 	}
+}
+
+// chaosSlot wraps an injector (possibly nil) for atomic replacement.
+type chaosSlot struct{ c *fault.Chaos }
+
+// SetChaos replaces the server's fault injector for all subsequent
+// requests; nil turns injection off. Safe to call while serving — this
+// is how a scenario's live runner flips endpoints between healthy,
+// flaky, and dead mid-run without restarting them. In-flight requests
+// finish under whatever injector they drew at dispatch.
+func (s *Server) SetChaos(c *fault.Chaos) {
+	s.chaosOverride.Store(&chaosSlot{c: c})
+}
+
+// chaos returns the injector in force: the last SetChaos value if any,
+// else the construction-time Chaos field.
+func (s *Server) chaos() *fault.Chaos {
+	if slot := s.chaosOverride.Load(); slot != nil {
+		return slot.c
+	}
+	return s.Chaos
 }
 
 // countChaos tallies one injected fault by kind.

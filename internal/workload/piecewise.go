@@ -1,0 +1,84 @@
+package workload
+
+import "math"
+
+// Phase is one segment of a piecewise-constant rate schedule: from Start
+// (seconds from process start) onward, the base rate is multiplied by
+// Factor, until the next phase begins.
+type Phase struct {
+	Start  float64
+	Factor float64
+}
+
+// Piecewise is a Poisson arrival process whose rate is modulated by a
+// piecewise-constant factor schedule — flash crowds, diurnal ramps, and
+// every other scenario "workload" event compile down to it. Before the
+// first phase the factor is 1. Like MMPP, phase boundaries are handled
+// by burning the remaining segment time and redrawing: exponential
+// memorylessness makes that exact, not an approximation.
+type Piecewise struct {
+	rng    *RNG
+	rate   float64
+	phases []Phase
+	t      float64 // absolute time of the last arrival
+	idx    int     // number of phases with Start <= t
+}
+
+// NewPiecewise builds the process. rate is the base rate (events/s);
+// phases must be sorted by Start with positive factors. An empty
+// schedule degenerates to plain Poisson.
+func NewPiecewise(rng *RNG, rate float64, phases []Phase) *Piecewise {
+	if rate <= 0 {
+		panic("workload: Piecewise rate <= 0")
+	}
+	for i, p := range phases {
+		if p.Factor <= 0 {
+			panic("workload: Piecewise factor <= 0")
+		}
+		if i > 0 && p.Start < phases[i-1].Start {
+			panic("workload: Piecewise phases not sorted by Start")
+		}
+	}
+	return &Piecewise{rng: rng, rate: rate, phases: phases}
+}
+
+// factor returns the rate multiplier in effect at the current time.
+func (p *Piecewise) factor() float64 {
+	if p.idx == 0 {
+		return 1
+	}
+	return p.phases[p.idx-1].Factor
+}
+
+// boundary returns when the current factor stops applying.
+func (p *Piecewise) boundary() float64 {
+	if p.idx >= len(p.phases) {
+		return math.Inf(1)
+	}
+	return p.phases[p.idx].Start
+}
+
+// Next returns the next inter-arrival gap, crossing phase boundaries as
+// needed.
+func (p *Piecewise) Next() float64 {
+	total := 0.0
+	for {
+		gap := p.rng.Exp(p.rate * p.factor())
+		if end := p.boundary(); p.t+gap > end {
+			// The tentative arrival lands past the boundary: burn the time
+			// to the boundary and redraw at the new rate.
+			total += end - p.t
+			p.t = end
+			for p.idx < len(p.phases) && p.phases[p.idx].Start <= p.t {
+				p.idx++
+			}
+			continue
+		}
+		p.t += gap
+		return total + gap
+	}
+}
+
+// Rate returns the base (unmodulated) rate; the schedule multiplies it
+// segment by segment.
+func (p *Piecewise) Rate() float64 { return p.rate }

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// countArrivals draws from p until horizon and buckets arrivals by
+// window boundaries.
+func countArrivals(p *Piecewise, horizon float64, edges []float64) []int {
+	counts := make([]int, len(edges)+1)
+	t := 0.0
+	for {
+		t += p.Next()
+		if t > horizon {
+			return counts
+		}
+		i := 0
+		for i < len(edges) && t >= edges[i] {
+			i++
+		}
+		counts[i]++
+	}
+}
+
+func TestPiecewiseModulatesRate(t *testing.T) {
+	// Base rate 100/s; factor 1 on [0,50), 4 on [50,100), 0.5 on [100,150).
+	p := NewPiecewise(NewRNG(3), 100, []Phase{{Start: 50, Factor: 4}, {Start: 100, Factor: 0.5}})
+	counts := countArrivals(p, 150, []float64{50, 100})
+	want := []float64{100 * 50, 400 * 50, 50 * 50}
+	for i, c := range counts {
+		if ratio := float64(c) / want[i]; math.Abs(ratio-1) > 0.1 {
+			t.Fatalf("window %d: %d arrivals, want ~%v", i, c, want[i])
+		}
+	}
+	if p.Rate() != 100 {
+		t.Fatalf("Rate() = %v, want base 100", p.Rate())
+	}
+}
+
+func TestPiecewiseNoPhasesIsPoisson(t *testing.T) {
+	// With no phases the process must be exactly the base Poisson draw
+	// sequence for the same seed.
+	a := NewPiecewise(NewRNG(4), 7, nil)
+	b := NewPoisson(NewRNG(4), 7)
+	for i := 0; i < 1000; i++ {
+		if g, h := a.Next(), b.Next(); math.Abs(g-h) > 1e-12 {
+			t.Fatalf("draw %d: piecewise %v vs poisson %v", i, g, h)
+		}
+	}
+}
+
+func TestPiecewiseDeterministic(t *testing.T) {
+	draw := func() []float64 {
+		p := NewPiecewise(NewRNG(5), 10, []Phase{{Start: 1, Factor: 3}, {Start: 2, Factor: 0.25}})
+		out := make([]float64, 500)
+		for i := range out {
+			out[i] = p.Next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPiecewisePanicsOnBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero rate", func() { NewPiecewise(NewRNG(1), 0, nil) }},
+		{"zero factor", func() { NewPiecewise(NewRNG(1), 1, []Phase{{Start: 1, Factor: 0}}) }},
+		{"unsorted phases", func() {
+			NewPiecewise(NewRNG(1), 1, []Phase{{Start: 5, Factor: 2}, {Start: 1, Factor: 3}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package continuum_test
+
+import (
+	"os"
+	"testing"
+
+	"continuum/internal/scenario"
+)
+
+// TestScenarioBothBackends is the DSL's headline claim end to end: one
+// scenario file drives both execution substrates. The same JSON runs on
+// the discrete-event simulator (non-degenerate report) and against a
+// real in-process continuumd fleet (zero lost requests despite the
+// scripted cascade, fog failure, and link degradation).
+func TestScenarioBothBackends(t *testing.T) {
+	raw, err := os.ReadFile("examples/scenarios/cascading-failure.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := scenario.SimRunner{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Backend != "sim" {
+		t.Fatalf("sim backend label %q", sim.Backend)
+	}
+	if sim.Completed == 0 || sim.MeanLat <= 0 || sim.Joules <= 0 {
+		t.Fatalf("degenerate sim report: %+v", sim)
+	}
+	if sim.Suppressed == 0 {
+		t.Fatal("scripted gateway cascade suppressed nothing in sim")
+	}
+
+	live, err := scenario.LiveRunner{Options: scenario.LiveOptions{TimeScale: 0.02}}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Backend != "live" {
+		t.Fatalf("live backend label %q", live.Backend)
+	}
+	if live.Completed == 0 {
+		t.Fatal("live fleet completed nothing")
+	}
+	if live.Lost != 0 {
+		t.Fatalf("live replay lost %d of %d requests", live.Lost, live.Lost+live.Completed)
+	}
+	if live.Suppressed == 0 {
+		t.Fatal("scripted gateway cascade suppressed nothing live")
+	}
+}

@@ -40,4 +40,13 @@ echo "== speculation smoke (-race) =="
 go test -race -count=1 -run 'TestSpeculation' ./internal/core
 go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .
 
+echo "== scenario library validate =="
+# Every shipped scenario must pass the DSL validator.
+go run ./cmd/continuum-sim scenario validate examples/scenarios/*.json
+
+echo "== scenario smoke (-race) =="
+# One scenario file, both backends: non-degenerate simulator report and
+# a live in-process fleet replay with zero lost requests.
+go test -race -count=1 -run 'TestScenarioBothBackends' .
+
 echo "check: all gates passed"
