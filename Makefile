@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke scenario-smoke stress
+.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke scenario-smoke trace-smoke stress
 
 check:
 	./scripts/check.sh
@@ -42,6 +42,13 @@ spec-smoke:
 scenario-smoke:
 	go run ./cmd/continuum-sim scenario validate examples/scenarios/*.json
 	go test -race -count=1 -run 'TestScenarioBothBackends' .
+
+# Distributed-tracing smoke: a hedged request across a real two-daemon
+# federation must assemble into one cross-daemon trace via
+# `continuumctl trace` — client root, both arms, queue, and exec spans —
+# and export as a Chrome trace file (also part of `make check`).
+trace-smoke:
+	./scripts/trace_smoke.sh
 
 # Scale harness: generate a 1000-node scenario, validate it, and run it
 # through the simulator inside a generous CI-safe wall-clock budget.

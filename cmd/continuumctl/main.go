@@ -26,9 +26,22 @@
 // launched, races won) prints after federation commands.
 //
 //	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -hedge auto bench sleep -p '{"ms":2}' -n 2000
+//
+// -trace-out FILE runs invoke traced: the client's own spans (root
+// invocation, retry attempts, hedge arms, per-call sends) are written to
+// FILE and the trace ID is printed. `continuumctl trace <id>` then pulls
+// every -addr endpoint's span store, merges in FILE (via -local), and
+// renders the assembled cross-daemon tree — or exports it as a Chrome
+// trace-event file with -chrome, loadable in the same viewer as
+// simulator traces.
+//
+//	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -hedge 1ms -trace-out /tmp/ctl.spans invoke sleep '{"ms":5}'
+//	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 trace -local /tmp/ctl.spans <id>
+//	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 trace -slowest 5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +51,7 @@ import (
 	"time"
 
 	"continuum/internal/metrics"
+	"continuum/internal/trace"
 	"continuum/internal/wire"
 )
 
@@ -45,6 +59,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "endpoint address, or comma-separated list for retry+failover")
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 = none)")
 	hedgeSpec := flag.String("hedge", "", "hedge in-flight calls at a second endpoint: 'auto' (p99-derived delay) or a fixed duration like '5ms' (empty = off; needs >= 2 addresses)")
+	traceOut := flag.String("trace-out", "", "trace invoke calls, writing the client-side spans to this file and printing the trace ID (empty = untraced)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -54,6 +69,10 @@ func main() {
 	hedge, err := parseHedge(*hedgeSpec)
 	if err != nil {
 		fatal(err)
+	}
+	var ctlSpans *trace.SpanStore
+	if *traceOut != "" {
+		ctlSpans = trace.NewSpanStore(0)
 	}
 
 	// Federation commands (ping, invoke, bench) use the reliable client
@@ -66,6 +85,8 @@ func main() {
 			Addrs:       addrs,
 			CallTimeout: *timeout,
 			Hedge:       hedge,
+			Spans:       ctlSpans,
+			Service:     "ctl",
 		})
 		if err != nil {
 			fatal(err)
@@ -139,9 +160,21 @@ func main() {
 		}
 		var out []byte
 		var err error
-		if rc != nil {
+		switch {
+		case rc != nil:
+			// The reliable client starts the trace itself when ctlSpans is
+			// configured (root span per call).
 			out, err = rc.Invoke(args[1], []byte(payload))
-		} else {
+		case ctlSpans != nil:
+			// Raw single-endpoint client: start the trace here and run the
+			// call under it so the send span (and the server's spans)
+			// join it.
+			c := admin()
+			c.SetSpans(ctlSpans, "ctl")
+			ctx := trace.NewContext(context.Background(),
+				trace.SpanContext{TraceID: trace.NewTraceID()})
+			out, err = c.InvokeContext(ctx, args[1], []byte(payload))
+		default:
 			out, err = admin().Invoke(args[1], []byte(payload))
 		}
 		if err != nil {
@@ -149,6 +182,7 @@ func main() {
 		}
 		fmt.Println(string(out))
 		breakerSummary(rc)
+		flushSpans(ctlSpans, *traceOut)
 
 	case "top":
 		topFlags := flag.NewFlagSet("top", flag.ExitOnError)
@@ -173,9 +207,212 @@ func main() {
 		}
 		runBench(addrs, *timeout, hedge, args[1], []byte(*payload), *n, *conc, *mux)
 
+	case "trace":
+		traceFlags := flag.NewFlagSet("trace", flag.ExitOnError)
+		slowest := traceFlags.Int("slowest", 0, "summarize the N slowest retained traces instead of rendering one")
+		chrome := traceFlags.String("chrome", "", "write the assembled trace as a Chrome trace-event file (open in chrome://tracing or Perfetto)")
+		local := traceFlags.String("local", "", "merge spans from a local span file (written by -trace-out)")
+		if err := traceFlags.Parse(args[1:]); err != nil {
+			fatal(err)
+		}
+		id := traceFlags.Arg(0)
+		if traceFlags.NArg() > 1 {
+			// Accept `trace <id> -chrome f` as well as `trace -chrome f
+			// <id>`: the stdlib stops flag parsing at the first positional
+			// argument, so re-parse whatever followed the ID.
+			if err := traceFlags.Parse(traceFlags.Args()[1:]); err != nil {
+				fatal(err)
+			}
+		}
+		if id == "" && *slowest <= 0 {
+			fatal(fmt.Errorf("trace: need a trace ID or -slowest N"))
+		}
+		runTrace(addrs, *timeout, id, *slowest, *chrome, *local)
+
 	default:
 		usage()
 	}
+}
+
+// flushSpans writes the client-side spans of a traced run to the
+// -trace-out file and prints the trace IDs it recorded, so the user can
+// hand one straight to `continuumctl trace`.
+func flushSpans(store *trace.SpanStore, path string) {
+	if store == nil || path == "" {
+		return
+	}
+	// A hedged race's losing arm (and a retry still unwinding) settles
+	// asynchronously just after the winner returns; wait for the store to
+	// go quiet — bounded at ~500ms — so the file includes every arm.
+	prev := -1
+	for i := 0; i < 20; i++ {
+		n := store.Len()
+		if n == prev {
+			break
+		}
+		prev = n
+		time.Sleep(25 * time.Millisecond)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(fmt.Errorf("trace-out: %w", err))
+	}
+	if err := store.WriteJSON(f, ""); err != nil {
+		f.Close()
+		fatal(fmt.Errorf("trace-out: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("trace-out: %w", err))
+	}
+	for _, s := range trace.Summarize(store.Snapshot()) {
+		fmt.Fprintf(os.Stderr, "trace %s: %d client spans written to %s\n", s.TraceID, s.Spans, path)
+	}
+}
+
+// runTrace pulls every endpoint's span store (plus an optional local
+// span file), merges the sets, and either summarizes the slowest traces
+// or renders one assembled trace as a tree — optionally exporting it as
+// a Chrome trace-event file through the simulator's exporter, so live
+// and simulated runs open in the same viewer.
+func runTrace(addrs []string, timeout time.Duration, id string, slowest int, chrome, local string) {
+	sets := make([][]*trace.Span, 0, len(addrs)+1)
+	for _, a := range addrs {
+		c, err := wire.Dial(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s unreachable: %v\n", a, err)
+			continue
+		}
+		if timeout > 0 {
+			c.SetCallTimeout(timeout)
+		}
+		pulled, err := c.Trace(id)
+		c.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %s: %v\n", a, err)
+			continue
+		}
+		set := make([]*trace.Span, len(pulled))
+		for i := range pulled {
+			set[i] = &pulled[i]
+		}
+		sets = append(sets, set)
+	}
+	if local != "" {
+		f, err := os.Open(local)
+		if err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		spans, err := trace.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sets = append(sets, spans)
+	}
+	merged := trace.MergeSpans(sets...)
+	if slowest > 0 {
+		summaries := trace.Summarize(merged)
+		if len(summaries) > slowest {
+			summaries = summaries[:slowest]
+		}
+		fmt.Printf("%-18s %-24s %6s %6s %12s %5s\n", "TRACE", "ROOT", "SPANS", "SVCS", "DURATION", "ERR")
+		for _, s := range summaries {
+			errMark := ""
+			if s.Err {
+				errMark = "!"
+			}
+			fmt.Printf("%-18s %-24s %6d %6d %12v %5s\n",
+				s.TraceID, s.Root, s.Spans, s.Services, s.Duration.Round(time.Microsecond), errMark)
+		}
+		return
+	}
+	var spans []*trace.Span
+	for _, sp := range merged {
+		if sp.TraceID == id {
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("trace %s: no spans retained at %s (rings overwrite; pull sooner or raise -trace-buf)", id, strings.Join(addrs, ",")))
+	}
+	fmt.Printf("trace %s: %d spans\n", id, len(spans))
+	renderTraceTree(spans)
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.SpansToTracer(spans).WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s\n", chrome)
+	}
+}
+
+// renderTraceTree prints one trace's spans as an indented parent/child
+// tree with offsets relative to the earliest span. Spans whose parent
+// was lost (ring overwrite, legacy hop) surface as extra roots rather
+// than disappearing.
+func renderTraceTree(spans []*trace.Span) {
+	byID := make(map[string]*trace.Span, len(spans))
+	children := make(map[string][]*trace.Span)
+	for _, sp := range spans {
+		byID[sp.SpanID] = sp
+	}
+	var roots []*trace.Span
+	for _, sp := range spans {
+		if sp.Parent != "" && byID[sp.Parent] != nil {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	epoch := spans[0].Start
+	for _, sp := range spans {
+		if sp.Start < epoch {
+			epoch = sp.Start
+		}
+	}
+	var walk func(sp *trace.Span, depth int)
+	walk = func(sp *trace.Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%-8s %s [%s]", indent, sp.Service, sp.Name, sp.Kind)
+		if sp.Attempt > 0 {
+			line += fmt.Sprintf(" attempt=%d", sp.Attempt)
+		}
+		for _, k := range sortedAttrKeys(sp.Attrs) {
+			line += fmt.Sprintf(" %s=%s", k, sp.Attrs[k])
+		}
+		line += fmt.Sprintf("  +%v %v",
+			time.Duration(sp.Start-epoch).Round(time.Microsecond),
+			sp.Duration().Round(time.Microsecond))
+		if sp.Err != "" {
+			line += " err=" + sp.Err
+		}
+		fmt.Println(line)
+		for _, ch := range children[sp.SpanID] {
+			walk(ch, depth+1)
+		}
+	}
+	for _, root := range roots {
+		walk(root, 0)
+	}
+}
+
+func sortedAttrKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // runTop polls the server's live per-function metrics and renders them as
@@ -372,12 +609,15 @@ commands:
   invoke <fn> [payload]     call a function
   top [-i interval] [-n refreshes]        live per-function latency table
   bench <fn> [-n N] [-c C] [-p payload] [-mux]   load test (-mux: one shared multiplexed connection)
+  trace <id> [-chrome file] [-local file]        assemble one cross-daemon trace from every -addr
+  trace -slowest N [-local file]                 summarize the slowest retained traces
 
 With several -addr endpoints, ping/invoke/bench retry with backoff and
 fail over across them behind per-endpoint circuit breakers; -timeout
 bounds each round trip. -hedge additionally races slow in-flight calls
 against a second endpoint ('auto' = p99-derived delay, or a fixed
-duration like '5ms').`)
+duration like '5ms'). -trace-out FILE traces invoke calls, saving the
+client-side spans to FILE for later assembly with trace -local.`)
 	os.Exit(2)
 }
 

@@ -12,7 +12,16 @@
 //
 // With -metrics-addr the daemon serves Prometheus text exposition on
 // /metrics (per-function latency histograms, cold/warm splits, in-flight
-// gauges, per-op wire counters) and a liveness probe on /healthz.
+// gauges, per-op wire counters), a liveness probe on /healthz, and the
+// span store as JSON on /debug/traces (?trace=<id> filters to one
+// trace). -pprof additionally mounts net/http/pprof on the same mux so
+// live profiling needs no extra port.
+//
+// Tracing is always on (bounded by -trace-buf spans of ring memory):
+// requests carrying wire trace context get per-hop spans — server,
+// queue-wait, exec — recorded locally and pulled by `continuumctl
+// trace`, which assembles one cross-daemon tree per trace ID. Untraced
+// requests record nothing.
 //
 // Each accepted connection is multiplexed: requests carrying IDs are
 // dispatched to a per-connection worker pool and answered out of order
@@ -41,6 +50,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers forwarded onto the metrics mux under -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +59,7 @@ import (
 	"continuum/internal/faas"
 	"continuum/internal/fault"
 	"continuum/internal/metrics"
+	"continuum/internal/trace"
 	"continuum/internal/wire"
 )
 
@@ -66,6 +77,8 @@ func main() {
 	chaos := flag.String("chaos", "", "inject wire-level faults, e.g. 'drop=0.05,err=0.1,delay=20ms,delayp=0.3,up=10s,down=500ms,seed=1' (empty = off)")
 	workers := flag.Int("workers", 0, "max concurrent requests per connection for multiplexing clients (0 = default)")
 	hedge := flag.Bool("hedge", false, "free the capacity slot of a cancelled invocation immediately (server-side support for hedged clients: the losing hedge arm stops occupying a container slot)")
+	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity for distributed tracing (0 = default 4096)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof debug handlers on the -metrics-addr mux")
 	flag.Parse()
 
 	if *name == "" {
@@ -82,12 +95,21 @@ func main() {
 		PreemptAbandoned: *hedge,
 	}, reg)
 
+	// One span store for the whole daemon: the wire server's request
+	// spans and the endpoint's queue/exec spans land together, so one
+	// pull (OpTrace or /debug/traces) returns this process's entire view
+	// of any trace.
+	spans := trace.NewSpanStore(*traceBuf)
+	ep.SetSpans(spans)
+
 	srv := &wire.Server{
 		Invoker:   ep,
 		Batcher:   ep,
 		Registry:  reg,
 		Endpoints: []*faas.Endpoint{ep},
 		Workers:   *workers,
+		Name:      *name,
+		Spans:     spans,
 	}
 	if *verbose {
 		srv.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -106,7 +128,7 @@ func main() {
 		m = metrics.NewRegistry()
 		ep.SetMetrics(m)
 		srv.Metrics = m
-		go serveMetrics(*metricsAddr, m)
+		go serveMetrics(*metricsAddr, m, spans, *pprof)
 	}
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -140,10 +162,13 @@ func main() {
 	fmt.Println("continuumd: drained, exiting")
 }
 
-// serveMetrics exposes the shared registry in Prometheus text format plus
-// a trivial liveness probe. Scrapes read a consistent snapshot; they never
-// block the invoke path beyond the registry's per-metric locks.
-func serveMetrics(addr string, m *metrics.Registry) {
+// serveMetrics exposes the shared registry in Prometheus text format, a
+// trivial liveness probe, and the span store as /debug/traces JSON
+// (?trace=<id> filters to one trace); withPprof mounts net/http/pprof
+// on the same mux. Scrapes read consistent snapshots; they never block
+// the invoke path beyond the registry's per-metric locks (span
+// snapshots are atomic reads).
+func serveMetrics(addr string, m *metrics.Registry, spans *trace.SpanStore, withPprof bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -153,6 +178,15 @@ func serveMetrics(addr string, m *metrics.Registry) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		spans.WriteJSON(w, r.URL.Query().Get("trace"))
+	})
+	if withPprof {
+		// net/http/pprof registers on DefaultServeMux at import; forward
+		// its prefix so the handlers ride this mux (and only this mux).
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	}
 	fmt.Printf("continuumd: metrics on http://%s/metrics\n", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "continuumd: metrics server:", err)

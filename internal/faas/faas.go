@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"continuum/internal/metrics"
+	"continuum/internal/trace"
 )
 
 // Handler executes one invocation payload.
@@ -161,6 +162,10 @@ type Endpoint struct {
 	// shared metrics registry (see SetMetrics). Absent registry = no
 	// instrumentation on the invoke path.
 	obs *epObserver
+
+	// spans, when non-nil, records queue-wait and exec spans for traced
+	// invocations (see SetSpans). Nil = no span work at all.
+	spans *trace.SpanStore
 }
 
 // epObserver caches metric handles so the invoke hot path never formats
@@ -251,6 +256,19 @@ func (ep *Endpoint) SetMetrics(reg *metrics.Registry) {
 		return
 	}
 	ep.obs = newEpObserver(reg, ep.cfg.Name)
+}
+
+// SetSpans attaches a span store: every invocation arriving under a
+// traced context (trace.NewContext — the wire server threads it through
+// for traced requests) then records a queue-wait span (time blocked on
+// a capacity slot) and an exec span (cold start + handler, attributed
+// cold/warm, panic, preemption) as children of the caller's span, and
+// the invocation's latency histogram sample carries the trace ID as an
+// exemplar. Share the store with the wire server's Spans so one pull
+// covers the whole daemon. Call before serving traffic; untraced
+// invocations pay one context lookup and nothing else.
+func (ep *Endpoint) SetSpans(store *trace.SpanStore) {
+	ep.spans = store
 }
 
 // Name returns the endpoint name.
@@ -345,6 +363,10 @@ func (ep *Endpoint) InvokeContext(ctx context.Context, fn string, payload []byte
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, fn)
 	}
+	tc, traced := trace.ContextSpan(ctx)
+	if ep.spans == nil {
+		traced = false
+	}
 	obs := ep.obs
 	var fm *fnMetrics
 	var entered time.Time
@@ -354,17 +376,30 @@ func (ep *Endpoint) InvokeContext(ctx context.Context, fn string, payload []byte
 		obs.inflight.Add(1)
 		defer obs.inflight.Add(-1)
 	}
+	var qsp *trace.ActiveSpan
+	if traced {
+		qsp = ep.spans.StartSpan(tc, ep.cfg.Name, "queue "+fn, trace.KindQueue)
+	}
 	if err := ep.acquireSlot(ctx, fn); err != nil {
+		qsp.SetErr(err)
+		qsp.End()
 		return nil, err
 	}
+	qsp.End()
 	if obs != nil {
 		obs.queueWait.Add(time.Since(entered).Seconds())
 	}
 	ep.running.Add(1)
 
+	var xsp *trace.ActiveSpan
+	if traced {
+		xsp = ep.spans.StartSpan(tc, ep.cfg.Name, "exec "+fn, trace.KindExec)
+	}
 	warm, err := ep.acquire(fn)
 	if err != nil {
 		ep.releaseSlot()
+		xsp.SetErr(err)
+		xsp.End()
 		return nil, err
 	}
 	if warm {
@@ -372,20 +407,44 @@ func (ep *Endpoint) InvokeContext(ctx context.Context, fn string, payload []byte
 		if fm != nil {
 			fm.warm.Inc()
 		}
+		xsp.SetAttr("container", "warm")
 	} else {
 		ep.coldStarts.Add(1)
 		if fm != nil {
 			fm.cold.Inc()
 		}
+		xsp.SetAttr("container", "cold")
 		if ep.cfg.ColdStart > 0 {
 			time.Sleep(ep.cfg.ColdStart)
 		}
 	}
 	out, err := ep.execute(ctx, fn, h, payload)
+	if xsp != nil {
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrHandlerPanic):
+				xsp.SetAttr("panic", "true")
+			case errors.Is(err, context.Canceled):
+				if ep.cfg.PreemptAbandoned {
+					xsp.SetAttr("preempted", "true")
+				} else {
+					xsp.SetAttr("cancelled", "true")
+				}
+			}
+			xsp.SetErr(err)
+		}
+		xsp.End()
+	}
 	ep.invocations.Add(1)
 	if fm != nil {
 		fm.invocations.Inc()
-		fm.latency.Add(time.Since(entered).Seconds())
+		if traced {
+			// The exemplar links this bucket of the latency histogram to
+			// the most recent trace that landed in it.
+			fm.latency.AddExemplar(time.Since(entered).Seconds(), tc.TraceID)
+		} else {
+			fm.latency.Add(time.Since(entered).Seconds())
+		}
 	}
 	return out, err
 }

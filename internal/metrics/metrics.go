@@ -137,6 +137,19 @@ type Histogram struct {
 	sum       float64
 	min, max  float64
 	seen      bool
+	// exemplars holds the latest traced observation per bucket (key -1 =
+	// underflow), linking a histogram bucket to a concrete trace ID in
+	// the Prometheus exposition. Lazily allocated: histograms that never
+	// see AddExemplar pay nothing.
+	exemplars map[int]Exemplar
+}
+
+// Exemplar ties one observed value to the trace that produced it, so a
+// latency spike in a scraped histogram links directly to an inspectable
+// trace (`continuumctl trace <id>`).
+type Exemplar struct {
+	Value   float64
+	TraceID string
 }
 
 const (
@@ -170,7 +183,13 @@ func bucketUpper(b int) float64 {
 // Add records one observation.
 func (h *Histogram) Add(v float64) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.addLocked(v)
+	h.mu.Unlock()
+}
+
+// addLocked records v and returns the bucket it landed in (-1 =
+// underflow). Caller holds h.mu.
+func (h *Histogram) addLocked(v float64) int {
 	if h.counts == nil {
 		h.counts = make([]int64, histBuckets)
 	}
@@ -183,11 +202,44 @@ func (h *Histogram) Add(v float64) {
 		h.max = v
 	}
 	h.seen = true
-	if b := bucketOf(v); b >= 0 {
+	b := bucketOf(v)
+	if b >= 0 {
 		h.counts[b]++
 	} else {
 		h.underflow++
 	}
+	return b
+}
+
+// AddExemplar records one observation attributed to a trace: the value
+// is Added normally, and the (value, trace ID) pair replaces the
+// bucket's exemplar, so each exposed bucket carries the most recent
+// trace that landed in it. An empty traceID degrades to a plain Add.
+func (h *Histogram) AddExemplar(v float64, traceID string) {
+	h.mu.Lock()
+	b := h.addLocked(v)
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make(map[int]Exemplar)
+		}
+		h.exemplars[b] = Exemplar{Value: v, TraceID: traceID}
+	}
+	h.mu.Unlock()
+}
+
+// Exemplars returns a copy of the per-bucket exemplars, keyed by bucket
+// index (-1 = underflow). Nil when no traced observation was recorded.
+func (h *Histogram) Exemplars() map[int]Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make(map[int]Exemplar, len(h.exemplars))
+	for k, e := range h.exemplars {
+		out[k] = e
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -268,6 +320,7 @@ type histSnapshot struct {
 	sum       float64
 	min, max  float64
 	seen      bool
+	exemplars map[int]Exemplar
 }
 
 func (h *Histogram) snapshot() histSnapshot {
@@ -275,9 +328,16 @@ func (h *Histogram) snapshot() histSnapshot {
 	defer h.mu.Unlock()
 	counts := make([]int64, len(h.counts))
 	copy(counts, h.counts)
+	var ex map[int]Exemplar
+	if h.exemplars != nil {
+		ex = make(map[int]Exemplar, len(h.exemplars))
+		for k, e := range h.exemplars {
+			ex[k] = e
+		}
+	}
 	return histSnapshot{
 		counts: counts, underflow: h.underflow, n: h.n,
-		sum: h.sum, min: h.min, max: h.max, seen: h.seen,
+		sum: h.sum, min: h.min, max: h.max, seen: h.seen, exemplars: ex,
 	}
 }
 
@@ -296,6 +356,14 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.underflow += o.underflow
 	h.n += o.n
 	h.sum += o.sum
+	if o.exemplars != nil {
+		if h.exemplars == nil {
+			h.exemplars = make(map[int]Exemplar, len(o.exemplars))
+		}
+		for k, e := range o.exemplars {
+			h.exemplars[k] = e
+		}
+	}
 	if o.seen {
 		if !h.seen || o.min < h.min {
 			h.min = o.min

@@ -230,22 +230,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeHistogram renders one histogram as cumulative le buckets. Only
 // boundaries that close a non-empty bucket are emitted (512 log buckets
 // would bloat every scrape); cumulative counts stay exact because each
-// emitted bound carries everything below it.
+// emitted bound carries everything below it. Buckets with a recorded
+// exemplar carry an OpenMetrics-style ` # {trace_id="..."} <value>`
+// suffix linking the bucket to the latest trace that landed in it;
+// histograms never fed through AddExemplar expose byte-identical output
+// to before exemplars existed.
 func writeHistogram(w io.Writer, family string, labels map[string]string, h *Histogram) {
 	snap := h.snapshot()
+	exemplar := func(b int) string {
+		e, ok := snap.exemplars[b]
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf(` # {trace_id="%s"} %v`, escapeLabelValue(e.TraceID), e.Value)
+	}
 	cum := int64(0)
 	if snap.underflow > 0 {
 		cum += snap.underflow
-		fmt.Fprintf(w, "%s_bucket%s %d\n",
-			family, renderLabels(labels, "le", fmt.Sprintf("%.3g", histMinVal)), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			family, renderLabels(labels, "le", fmt.Sprintf("%.3g", histMinVal)), cum, exemplar(-1))
 	}
 	for b, c := range snap.counts {
 		if c == 0 {
 			continue
 		}
 		cum += c
-		fmt.Fprintf(w, "%s_bucket%s %d\n",
-			family, renderLabels(labels, "le", fmt.Sprintf("%.6g", bucketUpper(b))), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			family, renderLabels(labels, "le", fmt.Sprintf("%.6g", bucketUpper(b))), cum, exemplar(b))
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", family, renderLabels(labels, "le", "+Inf"), snap.n)
 	lb := renderLabels(labels, "", "")

@@ -11,6 +11,7 @@ import (
 	"continuum/internal/fault"
 	"continuum/internal/metrics"
 	"continuum/internal/retry"
+	"continuum/internal/trace"
 	"continuum/internal/wire"
 	"continuum/internal/workload"
 )
@@ -44,6 +45,13 @@ type LiveOptions struct {
 	// every scenario node is a real TCP server, so a 1000-node stress
 	// scenario belongs on the sim backend.
 	MaxNodes int
+	// Spans, when set, traces every live invocation end to end: the
+	// reliable client roots one trace per request, and every fleet node
+	// records its server/queue/exec spans into this same store (the whole
+	// fleet is in-process, so one ring holds the merged view directly).
+	// The ring overwrites under sustained load — size it to the scenario
+	// or pull promptly. Nil (the default) keeps the run span-free.
+	Spans *trace.SpanStore
 }
 
 func (o LiveOptions) timeScale() float64 {
@@ -86,15 +94,17 @@ type liveNode struct {
 }
 
 // startLiveNode boots one node of the fleet on a loopback listener.
-func startLiveNode(name string, capacity int) (*liveNode, error) {
+func startLiveNode(name string, capacity int, spans *trace.SpanStore) (*liveNode, error) {
 	reg := faas.BuiltinRegistry()
 	ep := faas.NewEndpoint(faas.EndpointConfig{
 		Name: name, Capacity: capacity, WarmTTL: time.Minute,
 		PreemptAbandoned: true,
 	}, reg)
+	ep.SetSpans(spans)
 	srv := &wire.Server{
 		Invoker: ep, Batcher: ep, Registry: reg,
 		Endpoints: []*faas.Endpoint{ep},
+		Name:      name, Spans: spans,
 	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -137,7 +147,7 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 		}
 	}
 	for _, nj := range s.Nodes {
-		ln, err := startLiveNode(nj.Name, opts.capacity())
+		ln, err := startLiveNode(nj.Name, opts.capacity(), opts.Spans)
 		if err != nil {
 			shutdown()
 			return nil, err
@@ -161,6 +171,8 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 		},
 		CallTimeout: 2 * time.Second,
 		Metrics:     m,
+		Spans:       opts.Spans,
+		Service:     "scenario",
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: live client: %w", s.Name, err)

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"continuum/internal/trace"
 )
 
 // liveScenario is a small evented stream scenario sized for fast
@@ -57,6 +59,64 @@ func TestLiveRunnerZeroLost(t *testing.T) {
 	}
 	if total < r.Completed {
 		t.Fatalf("per-node invocations %d < completed %d", total, r.Completed)
+	}
+}
+
+// TestLiveRunnerTracesEndToEnd: with a span store configured, a live
+// replay must record full traces — client root, attempt, send, server,
+// queue, and exec spans, correctly linked — for the scripted fleet.
+func TestLiveRunnerTracesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live fleet skipped in -short")
+	}
+	s := liveScenario()
+	s.Events = nil // healthy fleet: every trace should be complete
+	s.Stream.Horizon = 3
+	spans := trace.NewSpanStore(1 << 16)
+	r, err := LiveRunner{Options: LiveOptions{TimeScale: 0.05, Spans: spans}}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lost != 0 || r.Completed == 0 {
+		t.Fatalf("lost=%d completed=%d", r.Lost, r.Completed)
+	}
+	if spans.Dropped() > 0 {
+		t.Fatalf("span ring overflowed (%d dropped); size it to the scenario", spans.Dropped())
+	}
+	sums := trace.Summarize(spans.Snapshot())
+	if int64(len(sums)) != r.Completed {
+		t.Fatalf("recorded %d traces for %d completed invocations", len(sums), r.Completed)
+	}
+	// Every trace must span the client and at least one fleet node, and
+	// every span's parent must resolve within its own trace.
+	byTrace := make(map[string][]*trace.Span)
+	byID := make(map[string]bool)
+	for _, sp := range spans.Snapshot() {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+		byID[sp.TraceID+"/"+sp.SpanID] = true
+	}
+	kinds := map[trace.SpanKind]bool{}
+	for id, set := range byTrace {
+		roots := 0
+		for _, sp := range set {
+			kinds[sp.Kind] = true
+			if sp.Parent == "" {
+				roots++
+				if sp.Service != "scenario" {
+					t.Fatalf("trace %s rooted at %q, want the scenario client", id, sp.Service)
+				}
+			} else if !byID[sp.TraceID+"/"+sp.Parent] {
+				t.Fatalf("trace %s: span %s has unresolvable parent %s", id, sp.SpanID, sp.Parent)
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("trace %s has %d roots, want 1", id, roots)
+		}
+	}
+	for _, k := range []trace.SpanKind{trace.KindClient, trace.KindAttempt, trace.KindServer, trace.KindQueue, trace.KindExec} {
+		if !kinds[k] {
+			t.Fatalf("no %s spans recorded across %d traces", k, len(sums))
+		}
 	}
 }
 

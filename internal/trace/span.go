@@ -1,0 +1,133 @@
+// Distributed spans: the live-path counterpart of the simulator's event
+// trace. A Span is one timed operation attributed to a trace (one
+// end-to-end request), a parent span (the caller's operation), a service
+// (which process or endpoint did the work), and an attempt (which retry
+// or hedge arm). Spans are recorded wall-clock and assembled post hoc —
+// possibly across processes, by merging each daemon's span store — into
+// one tree per trace.
+//
+// Context propagation is deliberately tiny: a trace ID plus the current
+// span ID ride a context.Context inside one process and two optional
+// wire fields between processes (see wire.Request). A peer that predates
+// the fields simply drops them; the trace degrades to the spans of the
+// processes that do record, never to corruption.
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// SpanKind classifies which layer emitted a span.
+type SpanKind string
+
+// Span kinds recorded by the live path.
+const (
+	// KindClient is a caller-side span: the reliable client's root
+	// invocation span and the raw wire client's per-call send span.
+	KindClient SpanKind = "client"
+	// KindAttempt is one logical try of a reliable call: a retry attempt
+	// or one arm of a hedged race.
+	KindAttempt SpanKind = "attempt"
+	// KindServer covers a request inside a wire server, from decoded
+	// frame to queued response.
+	KindServer SpanKind = "server"
+	// KindQueue is time spent waiting for an execution slot.
+	KindQueue SpanKind = "queue"
+	// KindExec is handler execution (including cold-start provisioning).
+	KindExec SpanKind = "exec"
+	// KindInternal is anything else (breaker skips, store housekeeping).
+	KindInternal SpanKind = "internal"
+)
+
+// Span is one completed timed operation. Start/End are wall-clock unix
+// nanoseconds so spans from different processes on one machine merge on
+// a common axis. Attrs carry low-cardinality string facts (endpoint
+// address, cold/warm, cancellation); Err is set when the operation
+// failed.
+type Span struct {
+	TraceID string            `json:"trace"`
+	SpanID  string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Service string            `json:"svc"`
+	Name    string            `json:"name"`
+	Kind    SpanKind          `json:"kind"`
+	Attempt int               `json:"attempt,omitempty"`
+	Start   int64             `json:"start"` // unix nanoseconds
+	End     int64             `json:"end"`   // unix nanoseconds
+	Err     string            `json:"err,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's elapsed time.
+func (s *Span) Duration() time.Duration {
+	return time.Duration(s.End - s.Start)
+}
+
+// idRNG generates span and trace IDs. Uniqueness (not secrecy) is the
+// requirement; ChaCha8 seeded per process keeps IDs distinct across
+// daemons while costing a few nanoseconds per draw under a mutex — off
+// the hot path entirely when no span store is installed.
+var idRNG = struct {
+	sync.Mutex
+	r *rand.ChaCha8
+}{r: rand.NewChaCha8(seed())}
+
+func seed() [32]byte {
+	var s [32]byte
+	now := time.Now().UnixNano()
+	for i := 0; i < 8; i++ {
+		s[i] = byte(now >> (8 * i))
+	}
+	// Mix in Go's runtime-seeded global RNG so two daemons started the
+	// same nanosecond still diverge.
+	a, b := rand.Uint64(), rand.Uint64()
+	for i := 0; i < 8; i++ {
+		s[8+i] = byte(a >> (8 * i))
+		s[16+i] = byte(b >> (8 * i))
+	}
+	return s
+}
+
+func randHex(n int) string {
+	buf := make([]byte, n)
+	idRNG.Lock()
+	for i := 0; i < n; i += 8 {
+		v := idRNG.r.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			buf[i+j] = byte(v >> (8 * j))
+		}
+	}
+	idRNG.Unlock()
+	return hex.EncodeToString(buf)
+}
+
+// NewTraceID returns a fresh 16-hex-character trace identifier.
+func NewTraceID() string { return randHex(8) }
+
+// NewSpanID returns a fresh 8-hex-character span identifier.
+func NewSpanID() string { return randHex(4) }
+
+// SpanContext is the propagated slice of a trace: which trace the caller
+// belongs to and which of its spans is the current parent.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sc, to be picked up by ContextSpan in
+// a callee (the wire client stamps it onto outgoing requests).
+func NewContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// ContextSpan extracts the propagated trace context, if any.
+func ContextSpan(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && sc.TraceID != ""
+}

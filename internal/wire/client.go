@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"continuum/internal/trace"
 )
 
 // Client is a multiplexed protocol client: many concurrent calls share
@@ -38,6 +40,22 @@ type Client struct {
 	fifo    []string                  // wire order, for ID-less responses
 	idEcho  bool                      // server echoes IDs: fifo bookkeeping unnecessary
 	broken  error                     // set once the reader dies
+
+	spans   *trace.SpanStore // send spans for traced calls, nil = record nothing
+	service string           // span service label, set with spans
+}
+
+// SetSpans attaches a span store: from then on every call made under a
+// traced context (trace.NewContext) records one client send span —
+// covering serialization, the wire, and the server's processing — into
+// store, labeled with service. The span becomes the parent of the
+// server's spans via the request's trace fields. Call before issuing
+// traffic; untraced calls still cost nothing.
+func (c *Client) SetSpans(store *trace.SpanStore, service string) {
+	if service == "" {
+		service = "client"
+	}
+	c.spans, c.service = store, service
 }
 
 // Dial connects to a server, bounding the TCP connect by
@@ -211,13 +229,34 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return c.roundTripContext(context.Background(), req)
 }
 
-// roundTripContext performs one call over the shared connection. The
-// effective deadline is the earlier of the client's call timeout and
-// ctx's deadline; it bounds the response wait with a timer (and each
+// roundTripContext performs one call over the shared connection. A
+// traced ctx (trace.NewContext) stamps the request's trace fields so
+// the server's spans join the caller's trace, and — when SetSpans was
+// called — records a client send span around the round trip. The
+// untraced path pays one context lookup and nothing else.
+func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
+	tc, traced := trace.ContextSpan(ctx)
+	if !traced {
+		return c.doRoundTrip(ctx, req)
+	}
+	sp := c.spans.StartSpan(tc, c.service, "send "+string(req.Op), trace.KindClient)
+	if sp != nil {
+		tc = sp.Context() // server spans parent to the send span
+	}
+	req.TraceID, req.SpanID = tc.TraceID, tc.SpanID
+	resp, err := c.doRoundTrip(ctx, req)
+	sp.SetErr(err)
+	sp.End()
+	return resp, err
+}
+
+// doRoundTrip is the transport half of roundTripContext. The effective
+// deadline is the earlier of the client's call timeout and ctx's
+// deadline; it bounds the response wait with a timer (and each
 // write-side flush with a write deadline) without disturbing the other
 // calls in flight. Timeout errors wrap context.DeadlineExceeded, which
 // satisfies net.Error, so existing retry classification keeps working.
-func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
+func (c *Client) doRoundTrip(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -368,4 +407,14 @@ func (c *Client) Top() ([]FnMetrics, error) {
 		return nil, err
 	}
 	return resp.Top, nil
+}
+
+// Trace pulls the server's retained spans; a non-empty traceID filters
+// to one trace. Fails if the server was started without a span store.
+func (c *Client) Trace(traceID string) ([]trace.Span, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTrace, Fn: traceID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
 }

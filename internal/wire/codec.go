@@ -14,12 +14,16 @@ package wire
 //
 //	[0]      0xC5 magic
 //	[1]      kind: 0x01 request, 0x02 response
-//	Request  str Op, str ID, str Accept, str Fn, blob Payload, batch
+//	Request  str Op, str ID, str Accept, str Fn, blob Payload, batch,
+//	         then — only when the request is traced — str TraceID,
+//	         str SpanID. The trailer is backward compatible both ways:
+//	         decoders predating it discard trailing request bytes, and
+//	         new decoders treat an exhausted buffer as untraced.
 //	Response [2] flags (bit0 OK, bit1 Retryable, bit2 extension),
 //	         str ID, str Codec, str Error, blob Payload, batch,
 //	         then — only when the extension bit is set — a uvarint
-//	         length and a JSON object carrying the rare list/stats/top
-//	         fields.
+//	         length and a JSON object carrying the rare
+//	         list/stats/top/spans fields.
 //
 // where str is uvarint length + bytes, blob is the same but with
 // uvarint 0 meaning nil and length+1 otherwise (nil and empty payloads
@@ -42,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"continuum/internal/trace"
 )
 
 // Codec identifies a frame body encoding.
@@ -216,13 +222,15 @@ const (
 	binFlagExt       = 1 << 2
 )
 
-// respExt carries the rare Response fields (list/stats/top results) as
-// a JSON extension section, keeping struct-heavy encoding off the
-// invoke hot path.
+// respExt carries the rare Response fields (list/stats/top/trace
+// results) as a JSON extension section, keeping struct-heavy encoding
+// off the invoke hot path. Old peers ignore unknown keys, so adding a
+// field here never breaks a mixed-version federation.
 type respExt struct {
 	Names []string        `json:"names,omitempty"`
 	Stats []EndpointStats `json:"stats,omitempty"`
 	Top   []FnMetrics     `json:"top,omitempty"`
+	Spans []trace.Span    `json:"spans,omitempty"`
 }
 
 // appendBinary encodes v (a *Request or *Response) onto buf in the
@@ -236,7 +244,15 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 		buf = appendStr(buf, t.Accept)
 		buf = appendStr(buf, t.Fn)
 		buf = appendBlob(buf, t.Payload)
-		return appendBatch(buf, t.Batch), nil
+		buf = appendBatch(buf, t.Batch)
+		// Trace trailer: appended only for traced requests, so untraced
+		// frames are byte-identical to the pre-trace encoding and legacy
+		// decoders (which discard trailing bytes) interoperate unchanged.
+		if t.TraceID != "" || t.SpanID != "" {
+			buf = appendStr(buf, t.TraceID)
+			buf = appendStr(buf, t.SpanID)
+		}
+		return buf, nil
 	case *Response:
 		var flags byte
 		if t.OK {
@@ -246,9 +262,9 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 			flags |= binFlagRetryable
 		}
 		var ext []byte
-		if t.Names != nil || t.Stats != nil || t.Top != nil {
+		if t.Names != nil || t.Stats != nil || t.Top != nil || t.Spans != nil {
 			var err error
-			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top}); err != nil {
+			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top, t.Spans}); err != nil {
 				return buf, fmt.Errorf("wire: marshal extension: %w", err)
 			}
 			flags |= binFlagExt
@@ -398,8 +414,20 @@ func decodeBinary(body []byte, v any) error {
 		if t.Payload, b, err = takeBlob(b); err != nil {
 			return err
 		}
-		t.Batch, _, err = takeBatch(b)
-		return err
+		if t.Batch, b, err = takeBatch(b); err != nil {
+			return err
+		}
+		// Trace trailer, absent on untraced and pre-trace frames.
+		t.TraceID, t.SpanID = "", ""
+		if len(b) > 0 {
+			if t.TraceID, b, err = takeStr(b); err != nil {
+				return err
+			}
+			if t.SpanID, _, err = takeStr(b); err != nil {
+				return err
+			}
+		}
+		return nil
 	case *Response:
 		if kind != binKindResponse {
 			return fmt.Errorf("wire: binary frame: kind %#x is not a response", kind)
@@ -428,7 +456,7 @@ func decodeBinary(body []byte, v any) error {
 		if t.Batch, b, err = takeBatch(b); err != nil {
 			return err
 		}
-		t.Names, t.Stats, t.Top = nil, nil, nil
+		t.Names, t.Stats, t.Top, t.Spans = nil, nil, nil, nil
 		if flags&binFlagExt != 0 {
 			n, k := binary.Uvarint(b)
 			if k <= 0 {
@@ -442,7 +470,7 @@ func decodeBinary(body []byte, v any) error {
 			if err := json.Unmarshal(b[:n], &ext); err != nil {
 				return fmt.Errorf("wire: unmarshal extension: %w", err)
 			}
-			t.Names, t.Stats, t.Top = ext.Names, ext.Stats, ext.Top
+			t.Names, t.Stats, t.Top, t.Spans = ext.Names, ext.Stats, ext.Top, ext.Spans
 		}
 		return nil
 	default:
@@ -466,6 +494,8 @@ func internOp(s []byte) Op {
 		return OpStats
 	case string(OpTop):
 		return OpTop
+	case string(OpTrace):
+		return OpTrace
 	}
 	return Op(s)
 }

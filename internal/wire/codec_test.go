@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"reflect"
 	"testing"
+
+	"continuum/internal/trace"
 )
 
 // fullRequest returns a Request with every field set to a non-zero
@@ -17,6 +19,8 @@ func fullRequest() *Request {
 		Fn:      "echo",
 		Payload: []byte{0x00, 0xC5, '{', 0xFF}, // bytes that would confuse sniffing if mishandled
 		Batch:   [][]byte{{1}, {}, {2, 3}},
+		TraceID: "0123456789abcdef",
+		SpanID:  "89abcdef",
 	}
 }
 
@@ -37,6 +41,12 @@ func fullResponse() *Response {
 		Top: []FnMetrics{{
 			Endpoint: "ep0", Fn: "echo", Count: 10,
 			P50: 0.001, P90: 0.002, P99: 0.003, ColdStarts: 2, WarmHits: 8,
+		}},
+		Spans: []trace.Span{{
+			TraceID: "0123456789abcdef", SpanID: "89abcdef", Parent: "01234567",
+			Service: "ep0", Name: "exec echo", Kind: trace.KindExec, Attempt: 1,
+			Start: 100, End: 200, Err: "boom",
+			Attrs: map[string]string{"container": "cold"},
 		}},
 	}
 }
@@ -198,21 +208,45 @@ func TestBinaryFrameTooLarge(t *testing.T) {
 }
 
 // TestBinaryDecodeTruncated: a truncated binary body errors instead of
-// panicking or fabricating fields.
+// panicking or fabricating fields — with ONE deliberate exception: a cut
+// landing exactly on the end of the pre-trace schema is indistinguishable
+// from a frame a legacy encoder wrote, so it must decode as the same
+// request without trace context (that ambiguity is what makes the trace
+// trailer backward compatible).
 func TestBinaryDecodeTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrameCodec(&buf, fullRequest(), CodecBinary); err != nil {
 		t.Fatal(err)
 	}
 	whole := buf.Bytes()
-	for cut := 5; cut < len(whole)-1; cut += 7 {
+	// The legacy frame boundary: everything up to (not including) the
+	// trace trailer.
+	legacy := fullRequest()
+	legacy.TraceID, legacy.SpanID = "", ""
+	var legacyBuf bytes.Buffer
+	if err := WriteFrameCodec(&legacyBuf, legacy, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	boundary := legacyBuf.Len()
+
+	for cut := 5; cut < len(whole)-1; cut++ {
 		// Rewrite the length prefix to match the truncated body, so the
 		// decoder's own bounds checks are exercised, not just short reads.
 		trunc := append([]byte(nil), whole[:cut]...)
 		binary.BigEndian.PutUint32(trunc[:4], uint32(cut-4))
 		out := new(Request)
-		if err := ReadFrame(bytes.NewReader(trunc), out); err == nil {
-			t.Fatalf("truncated binary frame (cut at %d/%d) accepted", cut, len(whole))
+		err := ReadFrame(bytes.NewReader(trunc), out)
+		if cut == boundary {
+			if err != nil {
+				t.Fatalf("cut at the legacy boundary (%d) must decode as an untraced frame, got %v", cut, err)
+			}
+			if !reflect.DeepEqual(out, legacy) {
+				t.Fatalf("legacy-boundary decode:\nin:  %+v\nout: %+v", legacy, out)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncated binary frame (cut at %d/%d, boundary %d) accepted", cut, len(whole), boundary)
 		}
 	}
 }

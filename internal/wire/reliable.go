@@ -10,6 +10,7 @@ import (
 
 	"continuum/internal/metrics"
 	"continuum/internal/retry"
+	"continuum/internal/trace"
 )
 
 // ErrAllBreakersOpen is returned (and retried with backoff — cooldowns
@@ -59,6 +60,18 @@ type ReliableConfig struct {
 	//	wire_hedges_total             hedge arms launched
 	//	wire_hedge_wins_total         calls won by the hedge arm
 	Metrics *metrics.Registry
+
+	// Spans, when set, records the caller's half of every traced
+	// invocation: a root client span per InvokeContext call (started
+	// fresh when the context carries no trace, so this is where a trace
+	// is usually born), one attempt span per retry attempt and hedge arm
+	// (attributed with endpoint, failover, and cancellation), and
+	// breaker-open skips. Pooled connections share the store, so their
+	// send spans land in the same place. Nil records nothing and keeps
+	// the call path span-free.
+	Spans *trace.SpanStore
+	// Service labels this client's spans (default "client").
+	Service string
 }
 
 // Hedge defaults.
@@ -107,6 +120,8 @@ type repEndpoint struct {
 	addr    string
 	breaker *retry.Breaker
 	reuse   *metrics.Counter // nil without a registry
+	spans   *trace.SpanStore // handed to dialed clients, nil = untraced
+	service string
 
 	mu    sync.Mutex
 	conns []*Client // fixed-size pool; nil slots are dialed on demand
@@ -137,6 +152,9 @@ func (e *repEndpoint) get(ctx context.Context, callTimeout time.Duration) (*Clie
 	}
 	if callTimeout > 0 {
 		c.SetCallTimeout(callTimeout)
+	}
+	if e.spans != nil {
+		c.SetSpans(e.spans, e.service)
 	}
 	e.conns[idx] = c
 	return c, nil
@@ -213,10 +231,59 @@ func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
 			addr:    addr,
 			breaker: retry.NewBreaker(bc),
 			reuse:   reuse,
+			spans:   cfg.Spans,
+			service: r.service(),
 			conns:   make([]*Client, pool),
 		})
 	}
 	return r, nil
+}
+
+// service returns the span service label.
+func (r *ReliableClient) service() string {
+	if r.cfg.Service != "" {
+		return r.cfg.Service
+	}
+	return "client"
+}
+
+// armSpan opens one attempt/arm span when the call is traced (a traced
+// context and a configured store), attributed with the endpoint, the
+// hedge arm, and whether this attempt failed over from another endpoint.
+func (r *ReliableClient) armSpan(ctx context.Context, ep *repEndpoint, attempt int, arm string, failover bool) *trace.ActiveSpan {
+	if r.cfg.Spans == nil {
+		return nil
+	}
+	tc, ok := trace.ContextSpan(ctx)
+	if !ok {
+		return nil
+	}
+	sp := r.cfg.Spans.StartSpan(tc, r.service(), "attempt", trace.KindAttempt)
+	sp.SetAttempt(attempt)
+	sp.SetAttr("ep", ep.addr)
+	if arm != "" {
+		sp.SetAttr("arm", arm)
+	}
+	if failover {
+		sp.SetAttr("failover", "true")
+	}
+	return sp
+}
+
+// skipSpan records a breaker-open skip: the attempt found no admitting
+// endpoint — a delay that would otherwise be invisible in a trace.
+func (r *ReliableClient) skipSpan(ctx context.Context, attempt int) {
+	if r.cfg.Spans == nil {
+		return
+	}
+	tc, ok := trace.ContextSpan(ctx)
+	if !ok {
+		return
+	}
+	sp := r.cfg.Spans.StartSpan(tc, r.service(), "breaker-open", trace.KindInternal)
+	sp.SetAttempt(attempt)
+	sp.SetErr(ErrAllBreakersOpen)
+	sp.End()
 }
 
 // policy returns the retry policy with the default classifier filled in.
@@ -307,31 +374,46 @@ func (r *ReliableClient) Invoke(fn string, payload []byte) ([]byte, error) {
 
 // InvokeContext calls fn with retry, failover, and (when configured)
 // hedging under ctx; ctx bounds the whole retry loop including backoff
-// sleeps.
+// sleeps. With a span store configured the call records a root client
+// span — joining ctx's trace when it carries one, starting a new trace
+// otherwise — and one span per attempt, hedge arm, and breaker skip.
 func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	var root *trace.ActiveSpan
+	if r.cfg.Spans != nil {
+		tc, _ := trace.ContextSpan(ctx)
+		root = r.cfg.Spans.StartSpan(tc, r.service(), "invoke "+fn, trace.KindClient)
+		ctx = trace.NewContext(ctx, root.Context())
+	}
 	var out []byte
 	var last *repEndpoint
 	err := r.policy().Do(ctx, func(attempt int) error {
 		ep := r.pick()
 		if ep == nil {
+			r.skipSpan(ctx, attempt)
 			return ErrAllBreakersOpen
 		}
+		failover := false
 		if attempt > 0 {
 			if r.retries != nil {
 				r.retries.Inc()
 			}
-			if last != nil && ep != last && r.failovers != nil {
-				r.failovers.Inc()
+			if last != nil && ep != last {
+				failover = true
+				if r.failovers != nil {
+					r.failovers.Inc()
+				}
 			}
 		}
 		last = ep
-		res, err := r.invokeAttempt(ctx, ep, fn, payload)
+		res, err := r.invokeAttempt(ctx, ep, fn, payload, attempt, failover)
 		if err != nil {
 			return err
 		}
 		out = res
 		return nil
 	})
+	root.SetErr(err)
+	root.End()
 	if err != nil {
 		return nil, err
 	}
@@ -340,20 +422,35 @@ func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload [
 
 // attemptOn runs one call arm against one endpoint and settles its
 // breaker/pool outcome. The breaker Allow for ep has already been spent
-// (by pick or pickOther).
-func (r *ReliableClient) attemptOn(ctx context.Context, ep *repEndpoint, fn string, payload []byte) ([]byte, error) {
+// (by pick or pickOther). Traced calls record an attempt span, which
+// becomes the parent of the connection's send span (and, transitively,
+// the server's spans); a cancelled arm — the hedge race was decided
+// elsewhere — is marked cancelled rather than failed-by-endpoint.
+func (r *ReliableClient) attemptOn(ctx context.Context, ep *repEndpoint, fn string, payload []byte, attempt int, arm string, failover bool) ([]byte, error) {
+	sp := r.armSpan(ctx, ep, attempt, arm, failover)
+	if sp != nil {
+		ctx = trace.NewContext(ctx, sp.Context())
+	}
 	c, err := ep.get(ctx, r.cfg.CallTimeout)
 	if err != nil {
 		settle(ep, nil, err)
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
 	start := time.Now()
 	out, err := c.InvokeContext(ctx, fn, payload)
 	settle(ep, c, err)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			sp.SetAttr("cancelled", "true")
+		}
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
 	r.lat.Add(time.Since(start).Seconds())
+	sp.End()
 	return out, nil
 }
 
@@ -367,21 +464,23 @@ type armResult struct {
 // invokeAttempt runs one logical attempt: a single call, or — when the
 // hedge delay elapses with the primary still in flight — a two-arm race
 // against distinct endpoints where the first success wins and the loser
-// is cancelled.
-func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn string, payload []byte) ([]byte, error) {
+// is cancelled. In a hedged race each arm records its own span
+// ("primary"/"hedge"); the loser's ends cancelled, so one trace shows
+// both arms and which one won.
+func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn string, payload []byte, attempt int, failover bool) ([]byte, error) {
 	delay, ok := r.hedgeDelay()
 	if !ok {
-		return r.attemptOn(ctx, ep, fn, payload)
+		return r.attemptOn(ctx, ep, fn, payload, attempt, "", failover)
 	}
 
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan armResult, 2)
-	arm := func(ep *repEndpoint) {
-		out, err := r.attemptOn(actx, ep, fn, payload)
+	arm := func(ep *repEndpoint, label string, failedOver bool) {
+		out, err := r.attemptOn(actx, ep, fn, payload, attempt, label, failedOver)
 		results <- armResult{ep: ep, out: out, err: err}
 	}
-	go arm(ep)
+	go arm(ep, "primary", failover)
 
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
@@ -405,7 +504,7 @@ func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn 
 				r.hedgesC.Inc()
 			}
 			pending++
-			go arm(backup)
+			go arm(backup, "hedge", false)
 		case res := <-results:
 			pending--
 			if res.err == nil {

@@ -31,12 +31,14 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,7 @@ import (
 	"continuum/internal/faas"
 	"continuum/internal/fault"
 	"continuum/internal/metrics"
+	"continuum/internal/trace"
 )
 
 // MaxFrame bounds a single frame (16 MiB) so a corrupt length prefix
@@ -107,6 +110,10 @@ const (
 	OpStats  Op = "stats"
 	OpTop    Op = "top"
 	OpPing   Op = "ping"
+	// OpTrace pulls the server's retained spans (Fn, when set, filters to
+	// one trace ID) — the wire half of the pull-based trace store; the
+	// other half is continuumd's /debug/traces HTTP endpoint.
+	OpTrace Op = "trace"
 )
 
 // Request is a client frame. ID, when set, is echoed verbatim on the
@@ -114,6 +121,12 @@ const (
 // both ways), so mixed-version federations keep working. Accept, when
 // set to AcceptBinary, advertises that the sender understands binary
 // response frames — another optional field old servers ignore.
+//
+// TraceID/SpanID carry distributed trace context: the trace this call
+// belongs to and the caller's span (the parent for every span the server
+// records while processing it). Like ID they are optional in both
+// codecs — a legacy peer drops them and the trace simply loses that
+// hop's spans, never its integrity.
 type Request struct {
 	Op      Op       `json:"op"`
 	ID      string   `json:"id,omitempty"`
@@ -121,6 +134,8 @@ type Request struct {
 	Fn      string   `json:"fn,omitempty"`
 	Payload []byte   `json:"payload,omitempty"`
 	Batch   [][]byte `json:"batch,omitempty"`
+	TraceID string   `json:"trace,omitempty"`
+	SpanID  string   `json:"span,omitempty"`
 }
 
 // EndpointStats mirrors one endpoint's counters.
@@ -164,6 +179,7 @@ type Response struct {
 	Names     []string        `json:"names,omitempty"`
 	Stats     []EndpointStats `json:"stats,omitempty"`
 	Top       []FnMetrics     `json:"top,omitempty"`
+	Spans     []trace.Span    `json:"spans,omitempty"` // OpTrace result
 }
 
 // Server serves the protocol over accepted connections.
@@ -187,8 +203,21 @@ type Server struct {
 	// SetMetrics so one /metrics exposition covers the whole daemon.
 	Metrics *metrics.Registry
 	// Logger, when set, emits one structured line per request with the
-	// request ID, op, function, outcome, and wall-clock duration.
+	// request ID, trace ID, op, function, outcome, and wall-clock
+	// duration.
 	Logger *slog.Logger
+
+	// Name labels this process's spans (and the trace op's service
+	// attribution). Empty falls back to "server".
+	Name string
+	// Spans, when set, records one server span per traced request (a
+	// request carrying a TraceID) into a bounded ring, answers the trace
+	// op from it, and threads trace context into the endpoints behind
+	// ContextInvoker so queue-wait and exec spans join the same trace.
+	// Share one store with the endpoints' SetSpans so a single pull
+	// returns the whole daemon's view of a trace. Nil records nothing
+	// and costs nothing on the request path.
+	Spans *trace.SpanStore
 
 	// Chaos, when set, injects faults ahead of every dispatch: latency
 	// spikes, retryable error responses, dropped connections, and whole
@@ -396,9 +425,15 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // EOF, bad peer, or drain cut: drop the connection
 		}
+		// Read timestamp feeds the traced requests' worker-pool queue-wait
+		// attribution; untraced serving skips the clock read.
+		var read time.Time
+		if s.Spans != nil && req.TraceID != "" {
+			read = time.Now()
+		}
 		cc.inflight.Add(1)
 		if req.ID == "" {
-			s.process(cc, req, codec, inB)
+			s.process(cc, req, codec, inB, read)
 		} else {
 			if idle.Load() == 0 && spawned < workers {
 				spawned++
@@ -412,11 +447,11 @@ func (s *Server) handle(conn net.Conn) {
 						if !ok {
 							return
 						}
-						s.process(cc, t.req, t.codec, t.inB)
+						s.process(cc, t.req, t.codec, t.inB, t.read)
 					}
 				}()
 			}
-			tasks <- connTask{req, codec, inB}
+			tasks <- connTask{req, codec, inB, read}
 		}
 		if s.isDraining() {
 			return // graceful shutdown: stop reading, finish what's in flight
@@ -429,14 +464,35 @@ type connTask struct {
 	req   *Request
 	codec Codec
 	inB   int64
+	read  time.Time // when the frame left the reader (traced requests only)
+}
+
+// serviceName labels this server's spans.
+func (s *Server) serviceName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "server"
 }
 
 // process serves one request end to end: chaos injection, dispatch,
 // response write, accounting. It decrements the connection's in-flight
 // count and, during a drain, closes the connection once it goes idle so
 // the blocked reader exits.
-func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
+func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64, read time.Time) {
 	start := time.Now()
+	// Traced request on a traced server: record one server span parented
+	// to the caller's span, covering chaos, dispatch, and response
+	// enqueue. The worker-pool wait (frame read to processing start) is
+	// attributed explicitly so queueing inside the server is visible.
+	var sp *trace.ActiveSpan
+	if s.Spans != nil && req.TraceID != "" {
+		sp = s.Spans.StartSpan(trace.SpanContext{TraceID: req.TraceID, SpanID: req.SpanID},
+			s.serviceName(), string(req.Op), trace.KindServer)
+		if !read.IsZero() {
+			sp.SetAttr("pool_wait_us", strconv.FormatInt(start.Sub(read).Microseconds(), 10))
+		}
+	}
 	g := s.inflightGauge()
 	if g != nil {
 		g.Add(1)
@@ -463,6 +519,10 @@ func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
 		switch act {
 		case fault.ChaosDrop:
 			s.countChaos("drop")
+			if sp != nil {
+				sp.SetErr(errors.New("chaos: dropped connection"))
+				sp.End()
+			}
 			done()
 			cc.Close() // sever mid-request, like a crashing endpoint
 			return
@@ -472,9 +532,15 @@ func (s *Server) process(cc *countConn, req *Request, codec Codec, inB int64) {
 		}
 	}
 	if resp == nil {
-		resp = s.dispatch(req)
+		resp = s.dispatch(req, sp)
 	}
 	resp.ID = req.ID
+	if sp != nil {
+		if resp.Error != "" {
+			sp.SetErr(errors.New(resp.Error))
+		}
+		sp.End()
+	}
 	// Answer in binary when the request arrived in binary or advertised
 	// it; the Codec ack tells the client the upgrade is on.
 	if codec == CodecBinary || req.Accept == AcceptBinary {
@@ -536,6 +602,9 @@ func (s *Server) observe(req *Request, resp *Response, d time.Duration, inB, out
 			"id", req.ID, "op", op, "fn", req.Fn, "ok", resp.OK,
 			"dur_ms", float64(d.Microseconds()) / 1000, "in_bytes", inB, "out_bytes", outB,
 		}
+		if req.TraceID != "" {
+			attrs = append(attrs, "trace", req.TraceID)
+		}
 		if resp.Error != "" {
 			attrs = append(attrs, "error", resp.Error)
 			s.Logger.Warn("request", attrs...)
@@ -577,12 +646,23 @@ func (s *Server) top() []FnMetrics {
 	return out
 }
 
-func (s *Server) dispatch(req *Request) *Response {
+// dispatch routes one decoded request to the right backend. sp, when
+// non-nil, is the server span covering this request; its context is
+// threaded into context-aware invokers so endpoint spans (queue-wait,
+// exec) join the request's trace.
+func (s *Server) dispatch(req *Request, sp *trace.ActiveSpan) *Response {
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
 	case OpInvoke:
-		out, err := s.Invoker.Invoke(req.Fn, req.Payload)
+		var out []byte
+		var err error
+		if ci, ok := s.Invoker.(faas.ContextInvoker); ok && sp != nil {
+			ctx := trace.NewContext(context.Background(), sp.Context())
+			out, err = ci.InvokeContext(ctx, req.Fn, req.Payload)
+		} else {
+			out, err = s.Invoker.Invoke(req.Fn, req.Payload)
+		}
 		if err != nil {
 			// Overload rejections and a draining endpoint never started
 			// the work, so the client may safely retry elsewhere.
@@ -609,6 +689,21 @@ func (s *Server) dispatch(req *Request) *Response {
 			return &Response{Error: "wire: no metrics registry (start the daemon with metrics enabled)"}
 		}
 		return &Response{OK: true, Top: s.top()}
+	case OpTrace:
+		if s.Spans == nil {
+			return &Response{Error: "wire: no span store (start the daemon with tracing enabled)"}
+		}
+		var src []*trace.Span
+		if req.Fn != "" {
+			src = s.Spans.Trace(req.Fn)
+		} else {
+			src = s.Spans.Snapshot()
+		}
+		spans := make([]trace.Span, len(src))
+		for i, p := range src {
+			spans[i] = *p
+		}
+		return &Response{OK: true, Spans: spans}
 	case OpStats:
 		var stats []EndpointStats
 		for _, ep := range s.Endpoints {

@@ -49,4 +49,10 @@ echo "== scenario smoke (-race) =="
 # a live in-process fleet replay with zero lost requests.
 go test -race -count=1 -run 'TestScenarioBothBackends' .
 
+echo "== trace smoke =="
+# Distributed-tracing gate: a hedged request across two real continuumd
+# processes must assemble into one cross-daemon trace with the client
+# root, both hedge arms, queue-wait, and exec spans.
+./scripts/trace_smoke.sh
+
 echo "check: all gates passed"

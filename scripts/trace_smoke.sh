@@ -1,0 +1,97 @@
+#!/usr/bin/env sh
+# Distributed-tracing smoke: boot a two-daemon federation, fire one
+# hedged traced request through continuumctl, then assert that
+# `continuumctl trace` assembles ONE cross-daemon trace containing the
+# client root, both hedge arms, queue-wait, and exec spans — and that
+# the Chrome export materializes. This is the end-to-end gate for the
+# wire-propagated trace context (see DESIGN.md, "Distributed tracing").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+D1='' D2=''
+cleanup() {
+    [ -n "$D1" ] && kill "$D1" 2>/dev/null || true
+    [ -n "$D2" ] && kill "$D2" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build =="
+go build -o "$tmp/continuumd" ./cmd/continuumd
+go build -o "$tmp/continuumctl" ./cmd/continuumctl
+
+A=127.0.0.1:19841
+B=127.0.0.1:19842
+
+echo "== start two-daemon federation =="
+# d1 is chaos-delayed so the primary arm reliably outlives the hedge
+# delay; d2 answers instantly and wins every race.
+"$tmp/continuumd" -listen "$A" -name d1 -hedge \
+    -chaos 'delay=300ms,delayp=1,seed=7' >"$tmp/d1.log" 2>&1 &
+D1=$!
+"$tmp/continuumd" -listen "$B" -name d2 -hedge >"$tmp/d2.log" 2>&1 &
+D2=$!
+
+ready=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$tmp/continuumctl" -addr "$A" ping >/dev/null 2>&1 &&
+        "$tmp/continuumctl" -addr "$B" ping >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ $ready -ne 1 ]; then
+    echo "trace-smoke: daemons never became reachable" >&2
+    cat "$tmp/d1.log" "$tmp/d2.log" >&2
+    exit 1
+fi
+
+echo "== hedged traced invoke =="
+"$tmp/continuumctl" -addr "$A,$B" -hedge 30ms -trace-out "$tmp/spans.json" \
+    invoke echo smoke-payload >"$tmp/invoke.out" 2>"$tmp/invoke.err"
+grep -q '^smoke-payload$' "$tmp/invoke.out" || {
+    echo "trace-smoke: invoke did not echo the payload" >&2
+    cat "$tmp/invoke.out" "$tmp/invoke.err" >&2
+    exit 1
+}
+tid=$(sed -n 's/^trace \([0-9a-f]*\):.*/\1/p' "$tmp/invoke.err" | head -1)
+if [ -z "$tid" ]; then
+    echo "trace-smoke: no trace ID reported by -trace-out" >&2
+    cat "$tmp/invoke.err" >&2
+    exit 1
+fi
+echo "trace id: $tid"
+
+# The losing arm's daemon finishes (and records its spans) ~300ms after
+# the winner returns; give it a moment before pulling.
+sleep 1
+
+echo "== assemble cross-daemon trace =="
+"$tmp/continuumctl" -addr "$A,$B" trace "$tid" \
+    -local "$tmp/spans.json" -chrome "$tmp/trace.json" >"$tmp/trace.out"
+cat "$tmp/trace.out"
+
+fail() {
+    echo "trace-smoke: $1" >&2
+    cat "$tmp/trace.out" >&2
+    exit 1
+}
+grep -qF "trace $tid:" "$tmp/trace.out" || fail "assembled trace header missing"
+grep -qF 'invoke echo [client]' "$tmp/trace.out" || fail "client root span missing"
+grep -qF 'arm=primary' "$tmp/trace.out" || fail "primary arm span missing"
+grep -qF 'arm=hedge' "$tmp/trace.out" || fail "hedge arm span missing"
+grep -qF '[queue]' "$tmp/trace.out" || fail "queue-wait span missing"
+grep -qF '[exec]' "$tmp/trace.out" || fail "exec span missing"
+# Cross-daemon: spans from BOTH daemons must appear in the one trace.
+grep -qE '^ *d1 ' "$tmp/trace.out" || fail "no spans from daemon d1"
+grep -qE '^ *d2 ' "$tmp/trace.out" || fail "no spans from daemon d2"
+# The Chrome export must materialize with the root span in it.
+[ -s "$tmp/trace.json" ] || fail "chrome trace file empty"
+grep -qF 'invoke echo' "$tmp/trace.json" || fail "chrome trace missing the root span"
+
+echo "trace-smoke: one assembled cross-daemon trace ($tid) with client, both arms, queue, and exec spans"
