@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire bench-spec chaos-smoke spec-smoke scenario-smoke trace-smoke stress
+.PHONY: check build test bench bench-wire bench-spec bench-overload chaos-smoke spec-smoke overload-smoke scenario-smoke trace-smoke stress
 
 check:
 	./scripts/check.sh
@@ -25,6 +25,11 @@ bench-wire:
 bench-spec:
 	go run ./cmd/continuum-bench -spec -spec-out BENCH_speculation.json
 
+# Overload-control run: goodput under a sustained flash crowd with and
+# without admission control, recorded in BENCH_overload.json.
+bench-overload:
+	go run ./cmd/continuum-bench -overload -overload-out BENCH_overload.json
+
 # End-to-end reliability smoke: chaos injection + endpoint kill under the
 # race detector (also part of `make check`).
 chaos-smoke:
@@ -35,6 +40,15 @@ chaos-smoke:
 spec-smoke:
 	go test -race -count=1 -run 'TestSpeculation' ./internal/core
 	go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .
+
+# Overload smoke: the graceful-degradation gate under the race detector —
+# a 10x flash crowd against an admission-controlled endpoint must lose no
+# accepted request, shed fail-fast with Retry-After, and keep
+# high-priority p99 bounded — plus a short goodput comparison asserting
+# admission-on goodput >= admission-off (also part of `make check`).
+overload-smoke:
+	go test -race -count=1 -run 'TestE2EOverloadGracefulDegradation' .
+	go run ./cmd/continuum-bench -overload -overload-gate -overload-dur 1s -overload-out BENCH_overload.json
 
 # Scenario smoke: validate the shipped scenario library, then run one
 # scenario on both backends — simulator and live in-process fleet — under

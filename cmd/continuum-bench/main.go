@@ -10,6 +10,7 @@
 //	continuum-bench -csv            # tables as CSV
 //	continuum-bench -wire           # wire-protocol throughput -> BENCH_wire.json
 //	continuum-bench -spec           # speculation/hedging tail latency -> BENCH_speculation.json
+//	continuum-bench -overload       # goodput under flash crowd, admission on/off -> BENCH_overload.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"continuum/internal/experiments"
 )
@@ -34,6 +36,10 @@ func main() {
 	specBench := flag.Bool("spec", false, "measure speculative-execution tail latency (sim + live hedging) instead of the experiments")
 	specN := flag.Int("spec-n", 4000, "spec bench: live calls per mode")
 	specOut := flag.String("spec-out", "BENCH_speculation.json", "spec bench: JSON report path")
+	overloadBench := flag.Bool("overload", false, "measure goodput under a flash crowd with and without admission control instead of the experiments")
+	overloadDur := flag.Duration("overload-dur", 2*time.Second, "overload bench: driven duration per mode")
+	overloadOut := flag.String("overload-out", "BENCH_overload.json", "overload bench: JSON report path")
+	overloadGate := flag.Bool("overload-gate", false, "overload bench: exit nonzero unless admission-on goodput >= admission-off (the overload-smoke CI gate)")
 	flag.Parse()
 
 	if *wireBench {
@@ -46,6 +52,13 @@ func main() {
 	if *specBench {
 		if err := runSpecBench(*specN, *specOut); err != nil {
 			fmt.Fprintf(os.Stderr, "continuum-bench: spec: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overloadBench {
+		if err := runOverloadBench(*overloadDur, *overloadOut, *overloadGate); err != nil {
+			fmt.Fprintf(os.Stderr, "continuum-bench: overload: %v\n", err)
 			os.Exit(1)
 		}
 		return

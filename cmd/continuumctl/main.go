@@ -27,6 +27,14 @@
 //
 //	continuumctl -addr 127.0.0.1:9090,127.0.0.1:9092 -hedge auto bench sleep -p '{"ms":2}' -n 2000
 //
+// -priority stamps invoke and bench requests with an admission class
+// (low | normal | high). Against daemons running -max-queue, low
+// priority traffic sheds first under overload while high is served
+// longest; daemons without admission control ignore the class.
+//
+//	continuumctl -addr 127.0.0.1:9090 -priority high invoke echo 'hello'
+//	continuumctl -addr 127.0.0.1:9090 -priority low bench sleep -p '{"ms":2}' -n 2000 -c 64
+//
 // -trace-out FILE runs invoke traced: the client's own spans (root
 // invocation, retry attempts, hedge arms, per-call sends) are written to
 // FILE and the trace ID is printed. `continuumctl trace <id>` then pulls
@@ -50,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"continuum/internal/faas"
 	"continuum/internal/metrics"
 	"continuum/internal/trace"
 	"continuum/internal/wire"
@@ -60,6 +69,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-call deadline (0 = none)")
 	hedgeSpec := flag.String("hedge", "", "hedge in-flight calls at a second endpoint: 'auto' (p99-derived delay) or a fixed duration like '5ms' (empty = off; needs >= 2 addresses)")
 	traceOut := flag.String("trace-out", "", "trace invoke calls, writing the client-side spans to this file and printing the trace ID (empty = untraced)")
+	priority := flag.String("priority", "", "admission priority for invoke/bench requests: low, normal, or high (empty = normal; only matters against daemons running -max-queue)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -69,6 +79,18 @@ func main() {
 	hedge, err := parseHedge(*hedgeSpec)
 	if err != nil {
 		fatal(err)
+	}
+	// baseCtx carries the request priority across the wire; daemons
+	// without admission control ignore it.
+	baseCtx := context.Background()
+	switch *priority {
+	case "", "normal":
+	case "low":
+		baseCtx = faas.WithPriority(baseCtx, faas.PriorityLow)
+	case "high":
+		baseCtx = faas.WithPriority(baseCtx, faas.PriorityHigh)
+	default:
+		fatal(fmt.Errorf("-priority %q: want low, normal, or high", *priority))
 	}
 	var ctlSpans *trace.SpanStore
 	if *traceOut != "" {
@@ -164,18 +186,18 @@ func main() {
 		case rc != nil:
 			// The reliable client starts the trace itself when ctlSpans is
 			// configured (root span per call).
-			out, err = rc.Invoke(args[1], []byte(payload))
+			out, err = rc.InvokeContext(baseCtx, args[1], []byte(payload))
 		case ctlSpans != nil:
 			// Raw single-endpoint client: start the trace here and run the
 			// call under it so the send span (and the server's spans)
 			// join it.
 			c := admin()
 			c.SetSpans(ctlSpans, "ctl")
-			ctx := trace.NewContext(context.Background(),
+			ctx := trace.NewContext(baseCtx,
 				trace.SpanContext{TraceID: trace.NewTraceID()})
 			out, err = c.InvokeContext(ctx, args[1], []byte(payload))
 		default:
-			out, err = admin().Invoke(args[1], []byte(payload))
+			out, err = admin().InvokeContext(baseCtx, args[1], []byte(payload))
 		}
 		if err != nil {
 			fatal(err)
@@ -205,7 +227,7 @@ func main() {
 		if err := benchFlags.Parse(args[2:]); err != nil {
 			fatal(err)
 		}
-		runBench(addrs, *timeout, hedge, args[1], []byte(*payload), *n, *conc, *mux)
+		runBench(baseCtx, addrs, *timeout, hedge, args[1], []byte(*payload), *n, *conc, *mux)
 
 	case "trace":
 		traceFlags := flag.NewFlagSet("trace", flag.ExitOnError)
@@ -444,7 +466,7 @@ func runTop(c *wire.Client, interval time.Duration, iters int) {
 // benchCaller is the slice of the client API runBench needs; both
 // wire.Client and wire.ReliableClient satisfy it.
 type benchCaller interface {
-	Invoke(fn string, payload []byte) ([]byte, error)
+	InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error)
 	Close() error
 }
 
@@ -455,7 +477,7 @@ type benchCaller interface {
 // same connection with out-of-order responses — the way to see the
 // pipelined wire protocol's throughput rather than the kernel's accept
 // rate.
-func runBench(addrs []string, timeout time.Duration, hedge wire.HedgeConfig, fn string, payload []byte, n, conc int, mux bool) {
+func runBench(ctx context.Context, addrs []string, timeout time.Duration, hedge wire.HedgeConfig, fn string, payload []byte, n, conc int, mux bool) {
 	var rcsMu sync.Mutex
 	var rcs []*wire.ReliableClient // for the post-run hedge summary
 	dial := func() (benchCaller, error) {
@@ -506,7 +528,7 @@ func runBench(addrs []string, timeout time.Duration, hedge wire.HedgeConfig, fn 
 			}
 			for j := 0; j < per; j++ {
 				t0 := time.Now()
-				if _, err := c.Invoke(fn, payload); err != nil {
+				if _, err := c.InvokeContext(ctx, fn, payload); err != nil {
 					fmt.Fprintln(os.Stderr, "bench invoke:", err)
 					return
 				}

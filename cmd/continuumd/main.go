@@ -29,6 +29,19 @@
 // in flight. -workers bounds that pool (ID-less peers stay strictly
 // serial).
 //
+// With -max-queue the daemon runs priority-classed admission control in
+// front of its container slots: admitted requests wait in bounded
+// per-priority queues (low sheds first), the effective bound adapts by
+// AIMD on observed queue wait, and shed requests are rejected
+// immediately with a retryable overload error carrying a Retry-After
+// hint that reliable clients honor as a backoff floor. The worker pool
+// also breathes between -min-slots and -capacity with the backlog.
+// Request priority rides the wire from the client (continuumctl
+// -priority, or faas.WithPriority in code).
+//
+//	continuumd -listen 127.0.0.1:9090 -capacity 8 -max-queue 64
+//	continuumd -listen 127.0.0.1:9090 -max-queue 64 -target-queue-wait 10ms -min-slots 2
+//
 // With -chaos the daemon injects faults into its own wire path — dropped
 // connections, injected retryable errors, latency spikes, and whole down
 // phases (see fault.ParseChaos for the spec grammar) — turning any
@@ -72,6 +85,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
 	verbose := flag.Bool("verbose", false, "log one structured line per request")
 	queueWait := flag.Duration("queue-wait", 0, "max wait for a free container slot before rejecting with a retryable overload error (0 = wait forever)")
+	maxQueue := flag.Int("max-queue", 0, "enable priority-classed admission control with this hard queue bound (0 = off; low priority sheds first, shed responses carry Retry-After)")
+	targetQueueWait := flag.Duration("target-queue-wait", 0, "queue-wait target the adaptive admission bound steers toward by AIMD (0 = 20ms; needs -max-queue)")
+	minSlots := flag.Int("min-slots", 0, "elastic worker-pool floor under admission control (0 = capacity/4; needs -max-queue)")
+	retryAfterFloor := flag.Duration("retry-after-floor", 0, "minimum Retry-After hint attached to shed responses (0 = 5ms; needs -max-queue)")
 	execTimeout := flag.Duration("exec-timeout", 0, "per-invocation execution deadline (0 = none)")
 	grace := flag.Duration("grace", 10*time.Second, "in-flight drain bound for graceful shutdown on SIGINT/SIGTERM")
 	chaos := flag.String("chaos", "", "inject wire-level faults, e.g. 'drop=0.05,err=0.1,delay=20ms,delayp=0.3,up=10s,down=500ms,seed=1' (empty = off)")
@@ -93,7 +110,17 @@ func main() {
 		QueueWait:        *queueWait,
 		ExecTimeout:      *execTimeout,
 		PreemptAbandoned: *hedge,
+		Admission: faas.AdmissionConfig{
+			Enabled:         *maxQueue > 0,
+			MaxQueue:        *maxQueue,
+			TargetQueueWait: *targetQueueWait,
+			MinSlots:        *minSlots,
+			RetryAfterFloor: *retryAfterFloor,
+		},
 	}, reg)
+	if *maxQueue > 0 {
+		fmt.Printf("continuumd: admission control enabled (max queue %d)\n", *maxQueue)
+	}
 
 	// One span store for the whole daemon: the wire server's request
 	// spans and the endpoint's queue/exec spans land together, so one

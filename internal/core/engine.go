@@ -371,19 +371,29 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 	// env once and keep it off the per-job hot path.
 	staticEnv := &placement.Env{Net: c.Net, Nodes: candidates, Fabric: c.Fabric}
 
+	// outstanding is the admission controller's state: jobs admitted at
+	// submit time and not yet completed or lost. The kernel is
+	// single-threaded, so a plain counter suffices.
+	outstanding := 0
+	release := func() {
+		if opts.Admission.enabled() {
+			outstanding--
+		}
+	}
+
 	var attempt func(j StreamJob, retriesLeft int, seq *int)
 	attempt = func(j StreamJob, retriesLeft int, seq *int) {
 		again := func() { attempt(j, retriesLeft-1, seq) }
 		env := staticEnv
-		if len(e.opts.Faults) > 0 {
+		if len(e.opts.Faults) > 0 || e.opts.Cordoned != nil {
 			live := make([]*node.Node, 0, len(candidates))
 			for _, n := range candidates {
-				if e.opts.up(n) {
+				if e.opts.eligible(n) {
 					live = append(live, n)
 				}
 			}
 			if len(live) == 0 {
-				e.retry(retriesLeft, again, nil)
+				e.retry(retriesLeft, again, release)
 				return
 			}
 			env = &placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
@@ -403,9 +413,10 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 					e.egress(n, j.Origin, j.Task.OutputBytes)
 					c.Net.Message(n.ID, j.Origin, j.Task.OutputBytes, func() {
 						e.complete(n, j.Submit)
+						release()
 					})
 				},
-				lost: func() { e.retry(retriesLeft, again, nil) },
+				lost: func() { e.retry(retriesLeft, again, release) },
 			}
 		}
 		if !e.opts.Speculate.enabled() {
@@ -415,11 +426,12 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 			return
 		}
 		// The backup node is the policy's choice over the candidates that
-		// are still up at hedge time, with the straggling primary excluded.
+		// are still eligible (up, not cordoned) at hedge time, with the
+		// straggling primary excluded.
 		e.speculate(mk, n, seq, func() *node.Node {
 			rest := make([]*node.Node, 0, len(candidates))
 			for _, cn := range candidates {
-				if cn != n && e.opts.up(cn) {
+				if cn != n && e.opts.eligible(cn) {
 					rest = append(rest, cn)
 				}
 			}
@@ -436,6 +448,18 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 			if e.opts.DropSubmit != nil && e.opts.DropSubmit(j.Origin) {
 				e.st.Suppressed++
 				return
+			}
+			// Admission: shed at submit time when the job's class watermark
+			// is full — the graduated-bound half of the live admission
+			// controller (there is no wait queue to evict from here).
+			if opts.Admission.enabled() {
+				cls := classOf(j.Priority)
+				if outstanding >= opts.Admission.classLimit(cls) {
+					e.st.Shed++
+					e.st.ShedByClass[cls]++
+					return
+				}
+				outstanding++
 			}
 			attempt(j, opts.MaxRetries, new(int))
 		})
@@ -491,8 +515,8 @@ func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement
 				func() { runTask(id, retriesLeft-1) },
 				func() { aborted = true })
 		}
-		if !e.opts.up(n) {
-			retry() // wait out the downtime; the schedule pins the task here
+		if !e.opts.eligible(n) {
+			retry() // wait out the downtime/cordon; the schedule pins the task here
 			return
 		}
 		// mk binds a replica's successor-edge transfers to the node that
@@ -537,7 +561,7 @@ func (c *Continuum) runDAG(d *task.DAG, sched placement.Schedule, env *placement
 			var best *node.Node
 			bestT := math.Inf(1)
 			for _, cand := range env.Nodes {
-				if cand == n || !e.opts.up(cand) {
+				if cand == n || !e.opts.eligible(cand) {
 					continue
 				}
 				if et := cand.ExecTime(tk.ScalarWork, tk.TensorWork, tk.Accel); et < bestT {

@@ -45,6 +45,69 @@ type ReliableOptions struct {
 	// a failed gateway generates no traffic — matching the live runner,
 	// which pauses a failed node's request generator. Nil submits all.
 	DropSubmit func(origin int) bool
+	// Admission, when enabled, bounds how many stream jobs may be
+	// outstanding (admitted, not yet completed or lost) with graduated
+	// per-priority watermarks: low-priority jobs shed first as the bound
+	// fills. It is the simulator mirror of the live path's
+	// faas.AdmissionConfig, so overload experiments compare across
+	// backends. The zero value admits everything.
+	Admission AdmissionOptions
+	// Cordoned, when set, is consulted wherever candidates are chosen:
+	// a cordoned node receives no NEW work (placement, retries, and
+	// speculative backups all skip it) but work already dispatched to it
+	// finishes normally — the difference from a Faults downtime, which
+	// loses in-flight attempts. It is the simulator half of the
+	// scenario "cordon" event; the live half is faas.Endpoint.SetCordon.
+	// Nil cordons nothing.
+	Cordoned func(n *node.Node) bool
+}
+
+// Stream job priority classes, mirroring internal/faas: the zero value
+// is normal, so existing workloads are unaffected.
+const (
+	PriorityLow    = -1
+	PriorityNormal = 0
+	PriorityHigh   = 1
+
+	numPriorityClasses = 3
+)
+
+// AdmissionOptions is the engine's admission-control mirror. Unlike the
+// live controller there is no wait queue to evict from — the simulated
+// decision happens once, at submit time — so the model is the graduated
+// watermark alone: a class-p job is shed when outstanding work has
+// already consumed that class's share of the bound.
+type AdmissionOptions struct {
+	// MaxOutstanding is the bound on admitted-but-unfinished stream
+	// jobs. Class limits are graduated across it exactly like
+	// faas.AdmissionConfig.MaxQueue: low sheds beyond 1/3 of the bound,
+	// normal beyond 2/3, high only at the full bound. <= 0 disables
+	// admission control.
+	MaxOutstanding int
+}
+
+// enabled reports whether admission control is configured.
+func (a AdmissionOptions) enabled() bool { return a.MaxOutstanding > 0 }
+
+// classOf clamps a StreamJob priority to its class index in
+// [0, numPriorityClasses).
+func classOf(p int) int {
+	if p < PriorityLow {
+		p = PriorityLow
+	}
+	if p > PriorityHigh {
+		p = PriorityHigh
+	}
+	return p - PriorityLow
+}
+
+// classLimit is the graduated watermark for one class.
+func (a AdmissionOptions) classLimit(cls int) int {
+	limit := a.MaxOutstanding * (cls + 1) / numPriorityClasses
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
 }
 
 // SpeculateOptions configures speculative (hedged) execution. A backup
@@ -107,6 +170,14 @@ type ReliableStats struct {
 	// (origin down at submit time). They are not failures: the request
 	// was never made, so it appears in neither Completed nor Lost.
 	Suppressed int64
+	// Shed counts stream submissions rejected by Admission at submit
+	// time (the sum of ShedByClass). Shed jobs were refused before any
+	// work started, so like Suppressed they appear in neither Completed
+	// nor Lost — they are the simulator's fail-fast rejections.
+	Shed int64
+	// ShedByClass breaks Shed down by priority class
+	// (index classOf(priority): 0 low, 1 normal, 2 high).
+	ShedByClass [numPriorityClasses]int64
 }
 
 // SuccessRate returns completed/(completed+lost).
@@ -130,6 +201,17 @@ func (o *ReliableOptions) epoch(n *node.Node) uint64 {
 		return t.Epoch()
 	}
 	return 0
+}
+
+// cordoned reports whether the node currently refuses new work.
+func (o *ReliableOptions) cordoned(n *node.Node) bool {
+	return o.Cordoned != nil && o.Cordoned(n)
+}
+
+// eligible reports whether the node may receive new work right now:
+// up and not cordoned.
+func (o *ReliableOptions) eligible(n *node.Node) bool {
+	return o.up(n) && !o.cordoned(n)
 }
 
 // RunStreamReliable executes jobs under pol on a continuum with failing

@@ -45,6 +45,11 @@ type StreamJob struct {
 	Task   *task.Task
 	Origin int     // vertex the request (and its reply) is anchored to
 	Submit float64 // virtual submission time
+	// Priority is the job's admission class (PriorityLow, PriorityNormal,
+	// PriorityHigh): under ReliableOptions.Admission, lower classes shed
+	// first. The zero value is normal, so priority-unaware workloads are
+	// unchanged.
+	Priority int
 }
 
 // RunStream executes jobs under the given policy: each job's inputs move

@@ -118,6 +118,13 @@ type EndpointConfig struct {
 	// slot until it actually returns (Go cannot kill a goroutine), so a
 	// stuck handler degrades capacity rather than corrupting state.
 	ExecTimeout time.Duration
+	// Admission enables overload control: a priority-classed, adaptively
+	// bounded wait queue with immediate load shedding and elastic slot
+	// sizing, replacing the plain fixed-slot semaphore (see
+	// AdmissionConfig). Disabled (the zero value), invocations block on
+	// a capacity slot exactly as before.
+	Admission AdmissionConfig
+
 	// PreemptAbandoned frees the capacity slot of a handler abandoned by
 	// context *cancellation* immediately, instead of when the handler
 	// returns. Cancellation means the caller no longer wants the result —
@@ -139,7 +146,12 @@ type Endpoint struct {
 	cfg EndpointConfig
 	reg *Registry
 
-	slots chan struct{} // capacity semaphore
+	slots chan struct{} // capacity semaphore (unused when adm != nil)
+	adm   *admitter     // admission controller, nil unless cfg.Admission.Enabled
+
+	// cordoned rejects new invocations (retryably) while letting
+	// in-flight work finish; see SetCordon.
+	cordoned atomic.Bool
 
 	mu     sync.Mutex
 	warm   map[string][]*container
@@ -176,6 +188,12 @@ type epObserver struct {
 	queueWait *metrics.Histogram
 	inflight  *metrics.Gauge
 
+	// Admission-control instruments (always registered; only moved by
+	// endpoints with Admission enabled).
+	shed       [NumPriorities]*metrics.Counter
+	slots      *metrics.Gauge
+	queueDepth *metrics.Gauge
+
 	mu  sync.Mutex
 	fns map[string]*fnMetrics
 }
@@ -189,13 +207,19 @@ type fnMetrics struct {
 }
 
 func newEpObserver(reg *metrics.Registry, ep string) *epObserver {
-	return &epObserver{
-		reg:       reg,
-		ep:        ep,
-		queueWait: reg.Histogram(metrics.Label("faas_queue_wait_seconds", "ep", ep)),
-		inflight:  reg.Gauge(metrics.Label("faas_inflight", "ep", ep)),
-		fns:       make(map[string]*fnMetrics),
+	o := &epObserver{
+		reg:        reg,
+		ep:         ep,
+		queueWait:  reg.Histogram(metrics.Label("faas_queue_wait_seconds", "ep", ep)),
+		inflight:   reg.Gauge(metrics.Label("faas_inflight", "ep", ep)),
+		slots:      reg.Gauge(metrics.Label("faas_slots", "ep", ep)),
+		queueDepth: reg.Gauge(metrics.Label("faas_queue_depth", "ep", ep)),
+		fns:        make(map[string]*fnMetrics),
 	}
+	for cls := range o.shed {
+		o.shed[cls] = reg.Counter(metrics.Label("faas_shed_total", "ep", ep, "prio", (Priority(cls) + PriorityLow).String()))
+	}
+	return o
 }
 
 // fn returns (creating on first use) the cached handles for one function.
@@ -225,12 +249,16 @@ func NewEndpoint(cfg EndpointConfig, reg *Registry) *Endpoint {
 	if cfg.MaxWarmPerFn <= 0 {
 		cfg.MaxWarmPerFn = cfg.Capacity
 	}
-	return &Endpoint{
+	ep := &Endpoint{
 		cfg:   cfg,
 		reg:   reg,
 		slots: make(chan struct{}, cfg.Capacity),
 		warm:  make(map[string][]*container),
 	}
+	if cfg.Admission.Enabled {
+		ep.adm = newAdmitter(cfg.Admission, cfg.Capacity)
+	}
+	return ep
 }
 
 // SetMetrics attaches a shared metrics registry. From then on every
@@ -253,9 +281,15 @@ func NewEndpoint(cfg EndpointConfig, reg *Registry) *Endpoint {
 func (ep *Endpoint) SetMetrics(reg *metrics.Registry) {
 	if reg == nil {
 		ep.obs = nil
+		if ep.adm != nil {
+			ep.adm.obs = nil
+		}
 		return
 	}
 	ep.obs = newEpObserver(reg, ep.cfg.Name)
+	if ep.adm != nil {
+		ep.adm.obs = ep.obs
+	}
 }
 
 // SetSpans attaches a span store: every invocation arriving under a
@@ -295,6 +329,51 @@ func (ep *Endpoint) Panics() int64 { return ep.panics.Load() }
 // Preempted returns how many cancelled invocations had their capacity
 // slot freed early under EndpointConfig.PreemptAbandoned.
 func (ep *Endpoint) Preempted() int64 { return ep.preempted.Load() }
+
+// Shed returns how many invocations admission control rejected
+// (0 without Admission enabled).
+func (ep *Endpoint) Shed() int64 {
+	if ep.adm == nil {
+		return 0
+	}
+	return ep.adm.Shed()
+}
+
+// ShedByPriority returns shed counts indexed low, normal, high.
+func (ep *Endpoint) ShedByPriority() [NumPriorities]int64 {
+	if ep.adm == nil {
+		return [NumPriorities]int64{}
+	}
+	return ep.adm.ShedByPriority()
+}
+
+// SlotLimit returns the current elastic concurrency limit (Capacity
+// without Admission enabled).
+func (ep *Endpoint) SlotLimit() int {
+	if ep.adm == nil {
+		return ep.cfg.Capacity
+	}
+	return ep.adm.SlotLimit()
+}
+
+// QueueDepth returns the number of invocations waiting for admission
+// (0 without Admission enabled — channel waiters are not observable).
+func (ep *Endpoint) QueueDepth() int {
+	if ep.adm == nil {
+		return 0
+	}
+	return ep.adm.QueueDepth()
+}
+
+// SetCordon marks the endpoint cordoned (true) or schedulable again
+// (false). A cordoned endpoint finishes its in-flight invocations but
+// rejects new ones with ErrCordoned — a retryable verdict, so reliable
+// clients fail over instead of losing the request. This is the live
+// half of the scenario DSL's cordon/drain events.
+func (ep *Endpoint) SetCordon(c bool) { ep.cordoned.Store(c) }
+
+// Cordoned reports whether the endpoint is currently cordoned.
+func (ep *Endpoint) Cordoned() bool { return ep.cordoned.Load() }
 
 // Close marks the endpoint closed; in-flight work completes, new
 // invocations fail.
@@ -450,12 +529,21 @@ func (ep *Endpoint) InvokeContext(ctx context.Context, fn string, payload []byte
 }
 
 // acquireSlot blocks for a capacity slot, bounded by ctx and the
-// configured QueueWait. Both bounds surface as errors wrapping the
-// corresponding context error, so callers can classify overload
-// (deadline) apart from application failures.
+// configured QueueWait. A caller-context expiry surfaces as an error
+// wrapping the context sentinel; a QueueWait expiry surfaces as
+// ErrOverloaded (and only that — overload is the server's verdict, not
+// the caller's deadline). With Admission enabled the wait goes through
+// the admission controller instead: priority-classed bounded queuing
+// with immediate shedding.
 func (ep *Endpoint) acquireSlot(ctx context.Context, fn string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("faas: %q queue wait: %w", fn, err)
+	}
+	if ep.cordoned.Load() {
+		return fmt.Errorf("%w: %q", ErrCordoned, fn)
+	}
+	if ep.adm != nil {
+		return ep.adm.acquire(ctx, fn, PriorityFromContext(ctx), ep.cfg.QueueWait)
 	}
 	var timeout <-chan time.Time
 	if ep.cfg.QueueWait > 0 {
@@ -469,13 +557,21 @@ func (ep *Endpoint) acquireSlot(ctx context.Context, fn string) error {
 	case <-ctx.Done():
 		return fmt.Errorf("faas: %q queue wait: %w", fn, ctx.Err())
 	case <-timeout:
-		return fmt.Errorf("%w: %q queue wait exceeded %v: %w", ErrOverloaded, fn, ep.cfg.QueueWait, context.DeadlineExceeded)
+		// Deliberately NOT wrapped with context.DeadlineExceeded: callers
+		// classify their own deadline via errors.Is(err, DeadlineExceeded)
+		// and server-side overload via errors.Is(err, ErrOverloaded);
+		// wrapping both here made the two indistinguishable.
+		return fmt.Errorf("%w: %q queue wait exceeded %v", ErrOverloaded, fn, ep.cfg.QueueWait)
 	}
 }
 
 // releaseSlot undoes acquireSlot plus the running count.
 func (ep *Endpoint) releaseSlot() {
 	ep.running.Add(-1)
+	if ep.adm != nil {
+		ep.adm.release()
+		return
+	}
 	<-ep.slots
 }
 
@@ -595,13 +691,14 @@ func (ep *Endpoint) InvokeBatch(fn string, payloads [][]byte) ([][]byte, error) 
 		obs.inflight.Add(1)
 		defer obs.inflight.Add(-1)
 	}
-	ep.slots <- struct{}{}
-	defer func() { <-ep.slots }()
+	if err := ep.acquireSlot(context.Background(), fn); err != nil {
+		return nil, err
+	}
 	if obs != nil {
 		obs.queueWait.Add(time.Since(entered).Seconds())
 	}
 	ep.running.Add(1)
-	defer ep.running.Add(-1)
+	defer ep.releaseSlot()
 
 	warm, err := ep.acquire(fn)
 	if err != nil {

@@ -95,8 +95,15 @@ func TestQueueWaitTimeout(t *testing.T) {
 	time.Sleep(10 * time.Millisecond) // let the blocker take the slot
 	start := time.Now()
 	_, err := ep.Invoke("echo", nil)
-	if !errors.Is(err, context.DeadlineExceeded) {
+	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v", err)
+	}
+	// Pin the satellite fix: queue-wait expiry is the server's overload
+	// verdict, NOT the caller's deadline — wrapping both made callers
+	// classifying via errors.Is(err, context.DeadlineExceeded) mistake
+	// overload for their own deadline expiring.
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queue-wait overload wraps context.DeadlineExceeded: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
 		t.Fatalf("queue timeout took %v", elapsed)

@@ -15,6 +15,7 @@ package retry
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
@@ -112,7 +113,10 @@ func (p Policy) Backoff(retry int) time.Duration {
 // Sleep blocks for the jittered backoff of the given retry, or until ctx
 // is done (returning ctx.Err()).
 func (p Policy) Sleep(ctx context.Context, retry int) error {
-	d := p.Backoff(retry)
+	return p.sleepFor(ctx, p.Backoff(retry))
+}
+
+func (p Policy) sleepFor(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
@@ -126,11 +130,28 @@ func (p Policy) Sleep(ctx context.Context, retry int) error {
 	}
 }
 
+// RetryAfterHint extracts a server-supplied backoff hint from err: any
+// error in the chain exposing RetryAfter() time.Duration (the wire
+// layer's RemoteError carries the Response.RetryAfterMS of a shed
+// request this way). Zero means no hint.
+func RetryAfterHint(err error) time.Duration {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		return ra.RetryAfter()
+	}
+	return 0
+}
+
 // Do runs fn up to MaxAttempts times, sleeping the jittered backoff
 // between attempts. It returns nil on the first success, the last error
 // once attempts are exhausted or fn returns a non-retryable error, and
 // ctx.Err() if the context ends first (checked before every attempt and
 // during every backoff sleep). fn receives the 0-based attempt number.
+//
+// When a retryable error carries a Retry-After hint (see
+// RetryAfterHint), the hint floors the backoff: an overloaded server's
+// "come back in 40ms" overrides a jittered draw that would have retried
+// sooner, so backpressure propagates instead of being re-amplified.
 func (p Policy) Do(ctx context.Context, fn func(attempt int) error) error {
 	var err error
 	for attempt := 0; attempt < p.maxAttempts(); attempt++ {
@@ -144,7 +165,11 @@ func (p Policy) Do(ctx context.Context, fn func(attempt int) error) error {
 			return err
 		}
 		if attempt+1 < p.maxAttempts() {
-			if serr := p.Sleep(ctx, attempt); serr != nil {
+			d := p.Backoff(attempt)
+			if hint := RetryAfterHint(err); hint > d {
+				d = hint
+			}
+			if serr := p.sleepFor(ctx, d); serr != nil {
 				return serr
 			}
 		}

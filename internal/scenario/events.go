@@ -30,6 +30,14 @@ import (
 //	restore-link  target "a->b": back to the scenario's figures
 //	workload      the global stream arrival rate multiplier becomes
 //	              "factor" (flash crowds, diurnal ramps)
+//	cordon        target node(s) stop accepting NEW work while in-flight
+//	              work finishes (the graceful half of a failure); "for"
+//	              seconds later they uncordon (omit "for" to leave the
+//	              hold in place)
+//	uncordon      target node(s) accept new work again
+//	drain         cordon plus the node's own request generator goes
+//	              quiet — the maintenance shape: stop taking work, stop
+//	              making work, let the pipeline empty; "for" undoes both
 //
 // Node targets are an exact node name, a glob ("gw*"), or a tier
 // selector ("class:gateway").
@@ -54,6 +62,8 @@ const (
 	opChaosOff
 	opLink // factor 1 restores; anything else degrades
 	opWorkload
+	opCordon // drain=true also silences the node's generator
+	opUncordon
 )
 
 // op is one compiled primitive. Events expand — cascades into staggered
@@ -63,10 +73,11 @@ const (
 type op struct {
 	at     float64
 	kind   opKind
-	node   string          // opFail/opRepair/opChaosOn/opChaosOff
+	node   string          // opFail/opRepair/opChaosOn/opChaosOff/opCordon/opUncordon
 	a, b   string          // opLink endpoints (scenario link order)
 	factor float64         // opLink multiplier or opWorkload rate factor
 	chaos  fault.ChaosSpec // opChaosOn
+	drain  bool            // opCordon: also pause the node's generator
 }
 
 // compile expands the event script into a time-sorted primitive
@@ -90,7 +101,7 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 			return nil, evFail(i, "for %v must be >= 0", ev.For)
 		}
 		switch ev.Kind {
-		case "fail", "recover", "cascade", "chaos", "chaos-off":
+		case "fail", "recover", "cascade", "chaos", "chaos-off", "cordon", "uncordon", "drain":
 			nodes, err := s.matchNodes(ev.Target)
 			if err != nil {
 				return nil, evFail(i, "%v", err)
@@ -150,6 +161,20 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 				for _, n := range nodes {
 					ops = append(ops, op{at: ev.At, kind: opChaosOff, node: n})
 				}
+			case "cordon", "drain":
+				if len(nodes) == len(s.Nodes) {
+					return nil, evFail(i, "%s %q would hold every node: at least one must stay schedulable", ev.Kind, ev.Target)
+				}
+				for _, n := range nodes {
+					ops = append(ops, op{at: ev.At, kind: opCordon, node: n, drain: ev.Kind == "drain"})
+					if ev.For > 0 {
+						ops = append(ops, op{at: ev.At + ev.For, kind: opUncordon, node: n})
+					}
+				}
+			case "uncordon":
+				for _, n := range nodes {
+					ops = append(ops, op{at: ev.At, kind: opUncordon, node: n})
+				}
 			}
 		case "degrade-link", "restore-link":
 			a, b, err := s.matchLink(ev.Target)
@@ -173,7 +198,7 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 			}
 			ops = append(ops, op{at: ev.At, kind: opWorkload, factor: ev.Factor})
 		default:
-			return nil, evFail(i, "unknown kind %q (want fail|recover|cascade|chaos|chaos-off|degrade-link|restore-link|workload)", ev.Kind)
+			return nil, evFail(i, "unknown kind %q (want fail|recover|cascade|chaos|chaos-off|cordon|uncordon|drain|degrade-link|restore-link|workload)", ev.Kind)
 		}
 	}
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })

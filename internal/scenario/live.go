@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -84,13 +85,15 @@ func (o LiveOptions) maxNodes() int {
 
 // liveNode is one in-process continuumd: endpoint, server, listener
 // address, and whether the node is currently scripted as failed (a
-// failed origin generates no traffic, matching the sim's DropSubmit).
+// failed origin generates no traffic, matching the sim's DropSubmit) or
+// drained (cordoned and generating nothing — the maintenance shape).
 type liveNode struct {
-	name   string
-	addr   string
-	ep     *faas.Endpoint
-	srv    *wire.Server
-	paused atomic.Bool
+	name    string
+	addr    string
+	ep      *faas.Endpoint
+	srv     *wire.Server
+	paused  atomic.Bool
+	drained atomic.Bool
 }
 
 // startLiveNode boots one node of the fleet on a loopback listener.
@@ -204,8 +207,15 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 	for _, origin := range s.Stream.Origins {
 		arr := workload.NewPiecewise(rng.Split(), s.Stream.RatePerOrigin, ph)
 		ln := fleet[origin]
+		// The origin's scripted priority rides every request's context, so
+		// it crosses the wire to the fleet's admission controllers exactly
+		// as a real client's would.
+		ctx := context.Background()
+		if p := faas.Priority(s.Stream.Priorities[origin]); p != faas.PriorityNormal {
+			ctx = faas.WithPriority(ctx, p)
+		}
 		gens.Add(1)
-		go func(ln *liveNode, arr *workload.Piecewise) {
+		go func(ln *liveNode, arr *workload.Piecewise, ctx context.Context) {
 			defer gens.Done()
 			t, seq := 0.0, 0
 			for {
@@ -214,8 +224,8 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 					return
 				}
 				time.Sleep(time.Until(wall(t)))
-				if ln.paused.Load() {
-					suppressed.Add(1) // a down origin generates nothing
+				if ln.paused.Load() || ln.drained.Load() {
+					suppressed.Add(1) // a down or drained origin generates nothing
 					continue
 				}
 				seq++
@@ -224,7 +234,7 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 				go func() {
 					defer calls.Done()
 					t0 := time.Now()
-					out, err := rc.Invoke(fn, []byte(payload))
+					out, err := rc.InvokeContext(ctx, fn, []byte(payload))
 					if err != nil || (fn == "echo" && string(out) != payload) {
 						lost.Add(1)
 						return
@@ -233,7 +243,7 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 					lat.Add(time.Since(t0).Seconds())
 				}()
 			}
-		}(ln, arr)
+		}(ln, arr, ctx)
 	}
 	gens.Wait()
 	calls.Wait()
@@ -288,6 +298,20 @@ func (s *Scenario) replayOps(fleet map[string]*liveNode, ops []op, scale float64
 			fleet[o.node].srv.SetChaos(fault.NewChaos(scaleChaos(o.chaos, scale)))
 		case opChaosOff:
 			fleet[o.node].srv.SetChaos(nil)
+		case opCordon:
+			// The real graceful hold: the endpoint rejects new work with
+			// ErrCordoned (retryable, so the client fails over) while
+			// in-flight invocations finish. Drain also quiets the node's
+			// own generator, matching the sim's DropSubmit.
+			ln := fleet[o.node]
+			ln.ep.SetCordon(true)
+			if o.drain {
+				ln.drained.Store(true)
+			}
+		case opUncordon:
+			ln := fleet[o.node]
+			ln.ep.SetCordon(false)
+			ln.drained.Store(false)
 		case opLink:
 			// Approximation: a degraded link becomes injected delay at both
 			// endpoint servers — the wire has no simulated topology to slow

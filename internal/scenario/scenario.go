@@ -90,6 +90,19 @@ type StreamJSON struct {
 	Accel         string   `json:"accel,omitempty"`
 	InputBytes    float64  `json:"inputBytes"`
 	OutputBytes   float64  `json:"outputBytes"`
+	// Priorities maps an origin to the admission class of the requests
+	// it submits: -1 low, 0 normal, 1 high. Origins absent from the map
+	// submit at normal priority, so priority-unaware scenarios are
+	// unchanged. Priority only changes outcomes when admission control
+	// is in play (the Admission bound here, or -max-queue on a live
+	// continuumd): under overload, low-priority origins shed first.
+	Priorities map[string]int `json:"priorities,omitempty"`
+	// Admission, when > 0, bounds how many admitted jobs may be
+	// outstanding on the sim backend, with graduated per-priority
+	// watermarks (core.AdmissionOptions.MaxOutstanding). Jobs refused at
+	// the bound count in the report's Shed, not Lost. 0 disables
+	// admission control.
+	Admission int `json:"admission,omitempty"`
 }
 
 // DAGJSON describes a workflow workload.
@@ -207,6 +220,26 @@ func (s *Scenario) Validate() error {
 		if s.Stream.Accel != "" {
 			if _, err := parseAccelKind(s.Stream.Accel); err != nil {
 				return fail("stream: %v", err)
+			}
+		}
+		if s.Stream.Admission < 0 {
+			return fail("stream: admission %d must be >= 0", s.Stream.Admission)
+		}
+		origins := make(map[string]bool, len(s.Stream.Origins))
+		for _, o := range s.Stream.Origins {
+			origins[o] = true
+		}
+		prioOrigins := make([]string, 0, len(s.Stream.Priorities))
+		for o := range s.Stream.Priorities {
+			prioOrigins = append(prioOrigins, o)
+		}
+		sort.Strings(prioOrigins) // deterministic first-error reporting
+		for _, o := range prioOrigins {
+			if !origins[o] {
+				return fail("stream priorities: %q is not a stream origin", o)
+			}
+			if p := s.Stream.Priorities[o]; p < -1 || p > 1 {
+				return fail("stream priorities[%q]: %d out of range [-1 low, 0 normal, 1 high]", o, p)
 			}
 		}
 	}
@@ -353,15 +386,20 @@ type Report struct {
 	// Retries counts re-dispatches on either backend.
 	Retries int64
 	// Suppressed counts stream submissions silenced because their origin
-	// was down at submit time (a failed gateway generates no traffic).
+	// was down at submit time (a failed gateway generates no traffic) or
+	// drained (a "drain" event pauses the node's generator).
 	Suppressed int64
-	Makespan   float64
-	MeanLat    float64
-	P99Lat     float64
-	Joules     float64
-	Dollars    float64
-	EgressB    float64
-	PerNode    map[string]int64
+	// Shed counts submissions refused fail-fast by admission control
+	// (sim backend, stream.admission > 0). Shed requests never started,
+	// so they appear in neither Completed nor Lost.
+	Shed     int64
+	Makespan float64
+	MeanLat  float64
+	P99Lat   float64
+	Joules   float64
+	Dollars  float64
+	EgressB  float64
+	PerNode  map[string]int64
 }
 
 // Table renders the report.
@@ -375,6 +413,9 @@ func (r *Report) Table() *metrics.Table {
 	t.AddRow("retries", fmt.Sprintf("%d", r.Retries))
 	if r.Suppressed > 0 {
 		t.AddRow("suppressed", fmt.Sprintf("%d", r.Suppressed))
+	}
+	if r.Shed > 0 {
+		t.AddRow("shed", fmt.Sprintf("%d", r.Shed))
 	}
 	t.AddRow("makespan", metrics.FormatDuration(r.Makespan))
 	t.AddRow("mean latency", metrics.FormatDuration(r.MeanLat))

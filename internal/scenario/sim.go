@@ -58,6 +58,9 @@ func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
 	horizon := 0.0
 	if s.Stream != nil {
 		horizon = s.Stream.Horizon
+		if s.Stream.Admission > 0 {
+			opts.Admission = core.AdmissionOptions{MaxOutstanding: s.Stream.Admission}
+		}
 	}
 	s.installEvents(c, byName, links, ops, rng.Split(), horizon, &opts)
 
@@ -86,9 +89,10 @@ type simChaos struct {
 // installEvents wires the compiled timeline into the kernel and the
 // engine options: scripted fail/repair flips on fault targets, chaos
 // state machines (per-request draws via the Disturb hook, up/down
-// cycling via scheduled exponential flips), link retunes, and origin
-// silencing while an origin is down. Workload ops are not scheduled
-// here — they become the arrival processes' phase schedule.
+// cycling via scheduled exponential flips), link retunes, cordon holds
+// (via the Cordoned hook), and origin silencing while an origin is down
+// or drained. Workload ops are not scheduled here — they become the
+// arrival processes' phase schedule.
 func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node,
 	links map[string][2]*netsim.Link, ops []op, rng *workload.RNG,
 	horizon float64, opts *core.ReliableOptions) {
@@ -107,6 +111,17 @@ func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node
 			opts.Faults[byName[name].ID] = t
 		}
 		return t
+	}
+	// Cordon state: mutated only inside kernel callbacks and read only by
+	// engine hooks, which also run on the (single-threaded) kernel.
+	cordoned := make(map[int]bool)
+	drained := make(map[int]bool)
+	hasCordon := false
+	for _, o := range ops {
+		if o.kind == opCordon {
+			hasCordon = true
+			break
+		}
 	}
 	chaos := make(map[int]*simChaos)
 	chaosFor := func(name string) *simChaos {
@@ -162,9 +177,32 @@ func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node
 					c.Net.SetLinkParams(l, base.Latency*o.factor, base.Capacity/o.factor)
 				}
 			})
+		case opCordon:
+			id, drain := byName[o.node].ID, o.drain
+			c.K.At(o.at, func() {
+				detail := "cordon"
+				if drain {
+					detail = "drain"
+				}
+				c.Tracer.Record(o.at, trace.Cordon, o.node, detail)
+				cordoned[id] = true
+				if drain {
+					drained[id] = true
+				}
+			})
+		case opUncordon:
+			id := byName[o.node].ID
+			c.K.At(o.at, func() {
+				c.Tracer.Record(o.at, trace.Uncordon, o.node, "scripted uncordon")
+				cordoned[id] = false
+				drained[id] = false
+			})
 		case opWorkload:
 			// Compiled into the arrival processes' phase schedule instead.
 		}
+	}
+	if hasCordon {
+		opts.Cordoned = func(n *node.Node) bool { return cordoned[n.ID] }
 	}
 	if len(chaos) > 0 {
 		opts.Disturb = func(n *node.Node) (bool, float64) {
@@ -183,9 +221,12 @@ func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node
 			return drop, delay
 		}
 	}
-	if s.Stream != nil && opts.Faults != nil {
+	if s.Stream != nil && (opts.Faults != nil || hasCordon) {
 		faults := opts.Faults
 		opts.DropSubmit = func(origin int) bool {
+			if drained[origin] {
+				return true
+			}
 			t, ok := faults[origin]
 			return ok && !t.Up()
 		}
@@ -278,8 +319,9 @@ func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rn
 					OutputBytes: s.Stream.OutputBytes,
 					Inputs:      []task.DataRef{{Name: "in", Bytes: s.Stream.InputBytes}},
 				},
-				Origin: byName[origin].ID,
-				Submit: t,
+				Origin:   byName[origin].ID,
+				Submit:   t,
+				Priority: s.Stream.Priorities[origin],
 			})
 		}
 	}
@@ -313,6 +355,7 @@ func reportFromStats(name, workloadDesc string, st *core.ReliableStats) *Report 
 		Lost:       st.Lost,
 		Retries:    st.Retries,
 		Suppressed: st.Suppressed,
+		Shed:       st.Shed,
 		Makespan:   st.Makespan,
 		MeanLat:    st.Latency.Mean(),
 		P99Lat:     st.Latency.P99(),

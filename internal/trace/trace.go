@@ -36,6 +36,12 @@ const (
 	// because a sibling replica delivered first; Attempt identifies which
 	// replica lost.
 	Preempt Kind = "preempt"
+	// Cordon/Uncordon mark scripted scheduling holds: a cordoned node
+	// finishes in-flight work but receives nothing new (unlike Failure,
+	// which loses in-flight attempts). Detail says "cordon" or "drain"
+	// (drain also silences the node's own request generator).
+	Cordon   Kind = "cordon"
+	Uncordon Kind = "uncordon"
 )
 
 // Event is one timestamped record. Matched Start/End kinds form spans;

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"continuum/internal/faas"
 	"continuum/internal/trace"
 )
 
@@ -235,6 +236,12 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 // called — records a client send span around the round trip. The
 // untraced path pays one context lookup and nothing else.
 func (c *Client) roundTripContext(ctx context.Context, req *Request) (*Response, error) {
+	// A non-normal priority (faas.WithPriority) rides the request so the
+	// server's admission controller sheds in class order; the normal
+	// default keeps the frame byte-identical to priority-unaware peers.
+	if p := faas.PriorityFromContext(ctx); p != faas.PriorityNormal {
+		req.Priority = int(p)
+	}
 	tc, traced := trace.ContextSpan(ctx)
 	if !traced {
 		return c.doRoundTrip(ctx, req)
@@ -328,7 +335,11 @@ func (c *Client) doRoundTrip(ctx context.Context, req *Request) (*Response, erro
 			return nil, c.brokenErr()
 		}
 		if !resp.OK {
-			return resp, &RemoteError{Msg: resp.Error, Retryable: resp.Retryable}
+			return resp, &RemoteError{
+				Msg:            resp.Error,
+				Retryable:      resp.Retryable,
+				RetryAfterHint: time.Duration(resp.RetryAfterMS) * time.Millisecond,
+			}
 		}
 		return resp, nil
 	case <-ctx.Done():

@@ -15,15 +15,18 @@ package wire
 //	[0]      0xC5 magic
 //	[1]      kind: 0x01 request, 0x02 response
 //	Request  str Op, str ID, str Accept, str Fn, blob Payload, batch,
-//	         then — only when the request is traced — str TraceID,
-//	         str SpanID. The trailer is backward compatible both ways:
-//	         decoders predating it discard trailing request bytes, and
-//	         new decoders treat an exhausted buffer as untraced.
+//	         then — only when the request is traced or carries a
+//	         non-normal priority — str TraceID, str SpanID, then — only
+//	         when the priority is non-normal — varint Priority. The
+//	         trailer is backward compatible both ways: decoders
+//	         predating it discard trailing request bytes, and new
+//	         decoders treat an exhausted buffer as untraced / normal
+//	         priority.
 //	Response [2] flags (bit0 OK, bit1 Retryable, bit2 extension),
 //	         str ID, str Codec, str Error, blob Payload, batch,
 //	         then — only when the extension bit is set — a uvarint
 //	         length and a JSON object carrying the rare
-//	         list/stats/top/spans fields.
+//	         list/stats/top/spans/retry-after fields.
 //
 // where str is uvarint length + bytes, blob is the same but with
 // uvarint 0 meaning nil and length+1 otherwise (nil and empty payloads
@@ -227,10 +230,11 @@ const (
 // off the invoke hot path. Old peers ignore unknown keys, so adding a
 // field here never breaks a mixed-version federation.
 type respExt struct {
-	Names []string        `json:"names,omitempty"`
-	Stats []EndpointStats `json:"stats,omitempty"`
-	Top   []FnMetrics     `json:"top,omitempty"`
-	Spans []trace.Span    `json:"spans,omitempty"`
+	Names        []string        `json:"names,omitempty"`
+	Stats        []EndpointStats `json:"stats,omitempty"`
+	Top          []FnMetrics     `json:"top,omitempty"`
+	Spans        []trace.Span    `json:"spans,omitempty"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
 }
 
 // appendBinary encodes v (a *Request or *Response) onto buf in the
@@ -245,12 +249,19 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 		buf = appendStr(buf, t.Fn)
 		buf = appendBlob(buf, t.Payload)
 		buf = appendBatch(buf, t.Batch)
-		// Trace trailer: appended only for traced requests, so untraced
-		// frames are byte-identical to the pre-trace encoding and legacy
-		// decoders (which discard trailing bytes) interoperate unchanged.
-		if t.TraceID != "" || t.SpanID != "" {
+		// Trace/priority trailer: appended only for traced or
+		// non-normal-priority requests, so default frames are
+		// byte-identical to the pre-trailer encoding and legacy decoders
+		// (which discard trailing bytes) interoperate unchanged. Priority
+		// rides after the trace strings — also elided when normal, so a
+		// traced normal-priority frame matches the pre-priority encoding
+		// byte for byte.
+		if t.TraceID != "" || t.SpanID != "" || t.Priority != 0 {
 			buf = appendStr(buf, t.TraceID)
 			buf = appendStr(buf, t.SpanID)
+			if t.Priority != 0 {
+				buf = binary.AppendVarint(buf, int64(t.Priority))
+			}
 		}
 		return buf, nil
 	case *Response:
@@ -262,9 +273,9 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 			flags |= binFlagRetryable
 		}
 		var ext []byte
-		if t.Names != nil || t.Stats != nil || t.Top != nil || t.Spans != nil {
+		if t.Names != nil || t.Stats != nil || t.Top != nil || t.Spans != nil || t.RetryAfterMS != 0 {
 			var err error
-			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top, t.Spans}); err != nil {
+			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top, t.Spans, t.RetryAfterMS}); err != nil {
 				return buf, fmt.Errorf("wire: marshal extension: %w", err)
 			}
 			flags |= binFlagExt
@@ -417,14 +428,22 @@ func decodeBinary(body []byte, v any) error {
 		if t.Batch, b, err = takeBatch(b); err != nil {
 			return err
 		}
-		// Trace trailer, absent on untraced and pre-trace frames.
-		t.TraceID, t.SpanID = "", ""
+		// Trace/priority trailer, absent on untraced normal-priority and
+		// pre-trailer frames.
+		t.TraceID, t.SpanID, t.Priority = "", "", 0
 		if len(b) > 0 {
 			if t.TraceID, b, err = takeStr(b); err != nil {
 				return err
 			}
-			if t.SpanID, _, err = takeStr(b); err != nil {
+			if t.SpanID, b, err = takeStr(b); err != nil {
 				return err
+			}
+			if len(b) > 0 {
+				p, k := binary.Varint(b)
+				if k <= 0 {
+					return fmt.Errorf("wire: binary frame: bad priority")
+				}
+				t.Priority = int(p)
 			}
 		}
 		return nil
@@ -456,7 +475,7 @@ func decodeBinary(body []byte, v any) error {
 		if t.Batch, b, err = takeBatch(b); err != nil {
 			return err
 		}
-		t.Names, t.Stats, t.Top, t.Spans = nil, nil, nil, nil
+		t.Names, t.Stats, t.Top, t.Spans, t.RetryAfterMS = nil, nil, nil, nil, 0
 		if flags&binFlagExt != 0 {
 			n, k := binary.Uvarint(b)
 			if k <= 0 {
@@ -471,6 +490,7 @@ func decodeBinary(body []byte, v any) error {
 				return fmt.Errorf("wire: unmarshal extension: %w", err)
 			}
 			t.Names, t.Stats, t.Top, t.Spans = ext.Names, ext.Stats, ext.Top, ext.Spans
+			t.RetryAfterMS = ext.RetryAfterMS
 		}
 		return nil
 	default:

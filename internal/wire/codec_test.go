@@ -21,20 +21,24 @@ func fullRequest() *Request {
 		Batch:   [][]byte{{1}, {}, {2, 3}},
 		TraceID: "0123456789abcdef",
 		SpanID:  "89abcdef",
+		// Negative on purpose: the binary codec carries priority as a
+		// signed varint.
+		Priority: -1,
 	}
 }
 
 // fullResponse returns a Response with every field set.
 func fullResponse() *Response {
 	return &Response{
-		OK:        true,
-		ID:        "req-1",
-		Codec:     codecBinaryName,
-		Error:     "partial failure",
-		Retryable: true,
-		Payload:   bytes.Repeat([]byte{0xC5}, 64),
-		Batch:     [][]byte{{9, 8}, {7}},
-		Names:     []string{"echo", "upper"},
+		OK:           true,
+		ID:           "req-1",
+		Codec:        codecBinaryName,
+		Error:        "partial failure",
+		Retryable:    true,
+		RetryAfterMS: 40,
+		Payload:      bytes.Repeat([]byte{0xC5}, 64),
+		Batch:        [][]byte{{9, 8}, {7}},
+		Names:        []string{"echo", "upper"},
 		Stats: []EndpointStats{{
 			Name: "ep0", Capacity: 4, Running: 1, Invocations: 10, ColdStarts: 2, WarmHits: 8,
 		}},
@@ -208,11 +212,13 @@ func TestBinaryFrameTooLarge(t *testing.T) {
 }
 
 // TestBinaryDecodeTruncated: a truncated binary body errors instead of
-// panicking or fabricating fields — with ONE deliberate exception: a cut
-// landing exactly on the end of the pre-trace schema is indistinguishable
-// from a frame a legacy encoder wrote, so it must decode as the same
-// request without trace context (that ambiguity is what makes the trace
-// trailer backward compatible).
+// panicking or fabricating fields — with TWO deliberate exceptions: a cut
+// landing exactly on the end of the pre-trailer schema is
+// indistinguishable from a frame a legacy encoder wrote (decodes as the
+// same request, untraced and normal priority), and a cut on the end of
+// the trace strings is indistinguishable from a pre-priority traced
+// frame (decodes traced, normal priority). Those ambiguities are what
+// make the trailer backward compatible across both protocol additions.
 func TestBinaryDecodeTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrameCodec(&buf, fullRequest(), CodecBinary); err != nil {
@@ -220,33 +226,50 @@ func TestBinaryDecodeTruncated(t *testing.T) {
 	}
 	whole := buf.Bytes()
 	// The legacy frame boundary: everything up to (not including) the
-	// trace trailer.
+	// trace/priority trailer.
 	legacy := fullRequest()
-	legacy.TraceID, legacy.SpanID = "", ""
+	legacy.TraceID, legacy.SpanID, legacy.Priority = "", "", 0
 	var legacyBuf bytes.Buffer
 	if err := WriteFrameCodec(&legacyBuf, legacy, CodecBinary); err != nil {
 		t.Fatal(err)
 	}
-	boundary := legacyBuf.Len()
+	legacyBoundary := legacyBuf.Len()
+	// The pre-priority boundary: trace strings present, priority absent.
+	traced := fullRequest()
+	traced.Priority = 0
+	var tracedBuf bytes.Buffer
+	if err := WriteFrameCodec(&tracedBuf, traced, CodecBinary); err != nil {
+		t.Fatal(err)
+	}
+	tracedBoundary := tracedBuf.Len()
 
-	for cut := 5; cut < len(whole)-1; cut++ {
+	for cut := 5; cut < len(whole); cut++ {
 		// Rewrite the length prefix to match the truncated body, so the
 		// decoder's own bounds checks are exercised, not just short reads.
 		trunc := append([]byte(nil), whole[:cut]...)
 		binary.BigEndian.PutUint32(trunc[:4], uint32(cut-4))
 		out := new(Request)
 		err := ReadFrame(bytes.NewReader(trunc), out)
-		if cut == boundary {
+		switch cut {
+		case legacyBoundary:
 			if err != nil {
 				t.Fatalf("cut at the legacy boundary (%d) must decode as an untraced frame, got %v", cut, err)
 			}
 			if !reflect.DeepEqual(out, legacy) {
 				t.Fatalf("legacy-boundary decode:\nin:  %+v\nout: %+v", legacy, out)
 			}
-			continue
-		}
-		if err == nil {
-			t.Fatalf("truncated binary frame (cut at %d/%d, boundary %d) accepted", cut, len(whole), boundary)
+		case tracedBoundary:
+			if err != nil {
+				t.Fatalf("cut at the pre-priority boundary (%d) must decode as a traced normal-priority frame, got %v", cut, err)
+			}
+			if !reflect.DeepEqual(out, traced) {
+				t.Fatalf("pre-priority-boundary decode:\nin:  %+v\nout: %+v", traced, out)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("truncated binary frame (cut at %d/%d, boundaries %d/%d) accepted",
+					cut, len(whole), legacyBoundary, tracedBoundary)
+			}
 		}
 	}
 }

@@ -48,6 +48,16 @@ type ReliableConfig struct {
 	// endpoint, the first response wins, and the stale arm is cancelled.
 	// The zero value disables hedging.
 	Hedge HedgeConfig
+	// Budget, when set, is the token-bucket retry budget every retry
+	// attempt AND every hedge arm draws from (they are the same kind of
+	// extra load on the fleet, so they share one bucket). An exhausted
+	// budget suppresses the hedge (the primary keeps running) and fails a
+	// would-be retry with retry.ErrBudgetExhausted — deliberately
+	// non-retryable, so a browned-out federation sees the client fleet's
+	// extra traffic throttle to Budget.Ratio × its success rate instead
+	// of a retry storm. Share one Budget across every client that talks
+	// to the same backends. Nil means unlimited (the old behavior).
+	Budget *retry.Budget
 	// Metrics, when set, receives the reliability counters:
 	//
 	//	wire_breaker_state{ep}        0 closed, 1 open, 2 half-open
@@ -59,6 +69,9 @@ type ReliableConfig struct {
 	//	                              pooled connection (vs a fresh dial)
 	//	wire_hedges_total             hedge arms launched
 	//	wire_hedge_wins_total         calls won by the hedge arm
+	//	wire_retry_budget_exhausted_total
+	//	                              retries failed / hedges suppressed
+	//	                              by an empty retry budget
 	Metrics *metrics.Registry
 
 	// Spans, when set, records the caller's half of every traced
@@ -190,9 +203,11 @@ type ReliableClient struct {
 
 	lat               *metrics.Histogram // completed-call latency, seconds
 	hedges, hedgeWins atomic.Int64
+	budgetDenied      atomic.Int64
 
 	retries, failovers  *metrics.Counter // nil without a registry
 	hedgesC, hedgeWinsC *metrics.Counter
+	budgetDeniedC       *metrics.Counter
 }
 
 // NewReliableClient builds a client over the configured endpoints. No
@@ -213,6 +228,7 @@ func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
 		reuse = cfg.Metrics.Counter("wire_conn_reuse_total")
 		r.hedgesC = cfg.Metrics.Counter("wire_hedges_total")
 		r.hedgeWinsC = cfg.Metrics.Counter("wire_hedge_wins_total")
+		r.budgetDeniedC = cfg.Metrics.Counter("wire_retry_budget_exhausted_total")
 	}
 	for _, addr := range cfg.Addrs {
 		bc := cfg.Breaker
@@ -336,10 +352,26 @@ func settle(ep *repEndpoint, c *Client, err error) {
 	}
 }
 
+// spendBudget draws one retry/hedge token, counting a denial. Nil
+// budget always grants.
+func (r *ReliableClient) spendBudget() bool {
+	if r.cfg.Budget.Spend() {
+		return true
+	}
+	r.budgetDenied.Add(1)
+	if r.budgetDeniedC != nil {
+		r.budgetDeniedC.Inc()
+	}
+	return false
+}
+
 // do runs op against successive endpoints under the retry policy.
 func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
 	var last *repEndpoint
 	return r.policy().Do(ctx, func(attempt int) error {
+		if attempt > 0 && !r.spendBudget() {
+			return fmt.Errorf("wire: retry suppressed: %w", retry.ErrBudgetExhausted)
+		}
 		ep := r.pick()
 		if ep == nil {
 			return ErrAllBreakersOpen
@@ -363,6 +395,7 @@ func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
 			return err
 		}
 		ep.breaker.Success()
+		r.cfg.Budget.Success()
 		return nil
 	})
 }
@@ -387,6 +420,14 @@ func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload [
 	var out []byte
 	var last *repEndpoint
 	err := r.policy().Do(ctx, func(attempt int) error {
+		// Every attempt after the first is extra fleet load and must be
+		// paid for from the shared budget — the same bucket hedge arms
+		// draw from. ErrBudgetExhausted is non-retryable by design, so an
+		// empty bucket fails the call here rather than queueing another
+		// attempt.
+		if attempt > 0 && !r.spendBudget() {
+			return fmt.Errorf("wire: retry suppressed: %w", retry.ErrBudgetExhausted)
+		}
 		ep := r.pick()
 		if ep == nil {
 			r.skipSpan(ctx, attempt)
@@ -409,6 +450,7 @@ func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload [
 		if err != nil {
 			return err
 		}
+		r.cfg.Budget.Success()
 		out = res
 		return nil
 	})
@@ -498,6 +540,15 @@ func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn 
 			backup := r.pickOther(ep)
 			if backup == nil {
 				continue // no second endpoint admits traffic; race stays 1-arm
+			}
+			if !r.spendBudget() {
+				// Hedges spend from the same bucket as retries: with the
+				// budget dry the race stays one-arm — the primary is
+				// still in flight, so nothing fails, the fleet just stops
+				// multiplying load. Return the breaker slot the pick
+				// spent (it may have been a half-open probe).
+				backup.breaker.Cancel()
+				continue
 			}
 			r.hedges.Add(1)
 			if r.hedgesC != nil {
@@ -591,6 +642,12 @@ func (r *ReliableClient) hedgeDelay() (time.Duration, bool) {
 // the hedge arm won.
 func (r *ReliableClient) HedgeStats() (launched, wins int64) {
 	return r.hedges.Load(), r.hedgeWins.Load()
+}
+
+// BudgetDenials returns how many retries were failed and hedge arms
+// suppressed by an exhausted retry budget.
+func (r *ReliableClient) BudgetDenials() int64 {
+	return r.budgetDenied.Load()
 }
 
 // Ping round-trips against any live endpoint.

@@ -59,7 +59,7 @@ func spanBy(spans []*trace.Span, pred func(*trace.Span) bool) *trace.Span {
 // pre-trace wire format.
 func TestBinaryTraceTrailerOptional(t *testing.T) {
 	plain := fullRequest()
-	plain.TraceID, plain.SpanID = "", ""
+	plain.TraceID, plain.SpanID, plain.Priority = "", "", 0 // default frame: no trailer at all
 	traced := fullRequest()
 
 	var plainBuf, tracedBuf bytes.Buffer

@@ -71,13 +71,22 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
 // answered with a well-formed frame carrying an error, so the connection
 // itself is healthy. Retryable marks errors the server declared
 // transient (overload, injected chaos) — safe to retry elsewhere.
+// RetryAfterHint, when nonzero, is the server's Retry-After: how long it
+// wants this client to back off before retrying (shed requests carry the
+// admission controller's current queue-wait estimate).
 type RemoteError struct {
-	Msg       string
-	Retryable bool
+	Msg            string
+	Retryable      bool
+	RetryAfterHint time.Duration
 }
 
 // Error returns the server's message.
 func (e *RemoteError) Error() string { return e.Msg }
+
+// RetryAfter exposes the server's backoff hint in the shape
+// retry.RetryAfterHint extracts, so retry.Policy.Do floors its jittered
+// backoff at the server's ask.
+func (e *RemoteError) RetryAfter() time.Duration { return e.RetryAfterHint }
 
 // IsRetryable classifies an error from a Client call as safe to retry on
 // another connection or endpoint: transport failures (dials, resets,
@@ -127,15 +136,22 @@ const (
 // records while processing it). Like ID they are optional in both
 // codecs — a legacy peer drops them and the trace simply loses that
 // hop's spans, never its integrity.
+//
+// Priority is the request's admission class (faas.PriorityLow = -1,
+// 0 = normal, faas.PriorityHigh = 1): under overload the server sheds
+// lower classes first. Zero — the wire default — is normal, so legacy
+// peers that never send the field land in the normal class, and frames
+// from priority-unaware clients stay byte-identical in both codecs.
 type Request struct {
-	Op      Op       `json:"op"`
-	ID      string   `json:"id,omitempty"`
-	Accept  string   `json:"accept,omitempty"`
-	Fn      string   `json:"fn,omitempty"`
-	Payload []byte   `json:"payload,omitempty"`
-	Batch   [][]byte `json:"batch,omitempty"`
-	TraceID string   `json:"trace,omitempty"`
-	SpanID  string   `json:"span,omitempty"`
+	Op       Op       `json:"op"`
+	ID       string   `json:"id,omitempty"`
+	Accept   string   `json:"accept,omitempty"`
+	Fn       string   `json:"fn,omitempty"`
+	Payload  []byte   `json:"payload,omitempty"`
+	Batch    [][]byte `json:"batch,omitempty"`
+	TraceID  string   `json:"trace,omitempty"`
+	SpanID   string   `json:"span,omitempty"`
+	Priority int      `json:"prio,omitempty"`
 }
 
 // EndpointStats mirrors one endpoint's counters.
@@ -168,18 +184,24 @@ type FnMetrics struct {
 // Codec acks the frame encoding the server chose (set when it answers
 // in binary), upgrading the connection for codec-aware clients. Like ID
 // these are optional JSON fields, so mixed-version peers interoperate.
+// RetryAfterMS, set on shed (admission-rejected) error responses, is the
+// server's Retry-After hint in milliseconds: how long the client should
+// back off before retrying. Optional in both codecs (JSON omitempty;
+// binary rides the rare-field extension), so unloaded responses stay
+// byte-identical and legacy peers simply never see it.
 type Response struct {
-	OK        bool            `json:"ok"`
-	ID        string          `json:"id,omitempty"`
-	Codec     string          `json:"codec,omitempty"`
-	Error     string          `json:"error,omitempty"`
-	Retryable bool            `json:"retryable,omitempty"`
-	Payload   []byte          `json:"payload,omitempty"`
-	Batch     [][]byte        `json:"batch,omitempty"`
-	Names     []string        `json:"names,omitempty"`
-	Stats     []EndpointStats `json:"stats,omitempty"`
-	Top       []FnMetrics     `json:"top,omitempty"`
-	Spans     []trace.Span    `json:"spans,omitempty"` // OpTrace result
+	OK           bool            `json:"ok"`
+	ID           string          `json:"id,omitempty"`
+	Codec        string          `json:"codec,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	Retryable    bool            `json:"retryable,omitempty"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+	Payload      []byte          `json:"payload,omitempty"`
+	Batch        [][]byte        `json:"batch,omitempty"`
+	Names        []string        `json:"names,omitempty"`
+	Stats        []EndpointStats `json:"stats,omitempty"`
+	Top          []FnMetrics     `json:"top,omitempty"`
+	Spans        []trace.Span    `json:"spans,omitempty"` // OpTrace result
 }
 
 // Server serves the protocol over accepted connections.
@@ -657,17 +679,36 @@ func (s *Server) dispatch(req *Request, sp *trace.ActiveSpan) *Response {
 	case OpInvoke:
 		var out []byte
 		var err error
-		if ci, ok := s.Invoker.(faas.ContextInvoker); ok && sp != nil {
-			ctx := trace.NewContext(context.Background(), sp.Context())
+		if ci, ok := s.Invoker.(faas.ContextInvoker); ok {
+			ctx := context.Background()
+			if req.Priority != 0 {
+				ctx = faas.WithPriority(ctx, faas.Priority(req.Priority))
+			}
+			if sp != nil {
+				ctx = trace.NewContext(ctx, sp.Context())
+			}
 			out, err = ci.InvokeContext(ctx, req.Fn, req.Payload)
 		} else {
 			out, err = s.Invoker.Invoke(req.Fn, req.Payload)
 		}
 		if err != nil {
-			// Overload rejections and a draining endpoint never started
-			// the work, so the client may safely retry elsewhere.
-			retryable := errors.Is(err, faas.ErrOverloaded) || errors.Is(err, faas.ErrClosed)
-			return &Response{Error: err.Error(), Retryable: retryable}
+			// Overload rejections, a cordoned endpoint, and a draining
+			// endpoint never started the work, so the client may safely
+			// retry elsewhere.
+			retryable := errors.Is(err, faas.ErrOverloaded) ||
+				errors.Is(err, faas.ErrClosed) || errors.Is(err, faas.ErrCordoned)
+			resp := &Response{Error: err.Error(), Retryable: retryable}
+			// A shed request carries the admission controller's backoff
+			// hint so the client's retry floors at the server's ask
+			// instead of re-amplifying the overload.
+			var oe *faas.OverloadError
+			if errors.As(err, &oe) && oe.RetryAfter > 0 {
+				resp.RetryAfterMS = int64(oe.RetryAfter / time.Millisecond)
+				if resp.RetryAfterMS == 0 {
+					resp.RetryAfterMS = 1 // sub-millisecond hints still round up, not off
+				}
+			}
+			return resp
 		}
 		return &Response{OK: true, Payload: out}
 	case OpBatch:

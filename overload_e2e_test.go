@@ -1,0 +1,187 @@
+package continuum_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/wire"
+)
+
+// overloadEndpoint assembles an in-process continuumd running admission
+// control — the composition `continuumd -max-queue` builds from flags.
+// The "work" function sleeps workDur then echoes, so capacity is the
+// only throughput limit and queue waits are predictable.
+func overloadEndpoint(t *testing.T, capacity, maxQueue int, workDur time.Duration) (*faas.Endpoint, string) {
+	t.Helper()
+	reg := faas.NewRegistry()
+	reg.Register("work", func(p []byte) ([]byte, error) {
+		time.Sleep(workDur)
+		return p, nil
+	})
+	ep := faas.NewEndpoint(faas.EndpointConfig{
+		Name: "overloaded", Capacity: capacity, WarmTTL: time.Minute,
+		QueueWait: 2 * time.Second,
+		Admission: faas.AdmissionConfig{
+			Enabled:         true,
+			MaxQueue:        maxQueue,
+			TargetQueueWait: 5 * time.Millisecond,
+			MinSlots:        capacity, // pin the pool: the gate measures admission, not elasticity
+			RetryAfterFloor: time.Millisecond,
+		},
+	}, reg)
+	srv := &wire.Server{
+		Invoker: ep, Batcher: ep, Registry: reg,
+		Endpoints: []*faas.Endpoint{ep},
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close(); ep.Close() })
+	return ep, lis.Addr().String()
+}
+
+func p99(d []time.Duration) time.Duration {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	return d[len(d)*99/100]
+}
+
+// TestE2EOverloadGracefulDegradation is the overload-control claim end
+// to end: a 10x flash crowd against an admission-controlled endpoint
+// must degrade gracefully —
+//
+//   - zero accepted requests lost: every request either completes with
+//     the right bytes or is rejected with the overload error; nothing
+//     hangs, nothing fails any other way;
+//   - shed requests fail FAST (far under the 2s QueueWait), marked
+//     retryable, and carry a Retry-After hint for client backpressure;
+//   - high-priority work stays usable: its p99 under the crowd is
+//     within 3x the unloaded baseline.
+func TestE2EOverloadGracefulDegradation(t *testing.T) {
+	// Work long enough that execution dominates scheduler noise (the -race
+	// detector roughly doubles goroutine overheads); the p99 bound below
+	// would flake if queueing jitter were comparable to workDur.
+	const (
+		capacity = 4
+		workDur  = 12 * time.Millisecond
+		workers  = 40 // 10x the endpoint's capacity
+		perWkr   = 5
+	)
+	ep, addr := overloadEndpoint(t, capacity, capacity, workDur)
+
+	dial := func() *wire.Client {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	// Unloaded baseline: serial high-priority calls on an idle endpoint.
+	base := dial()
+	highCtx := faas.WithPriority(context.Background(), faas.PriorityHigh)
+	var baseLats []time.Duration
+	for i := 0; i < 50; i++ {
+		t0 := time.Now()
+		if _, err := base.InvokeContext(highCtx, "work", []byte("warm")); err != nil {
+			t.Fatalf("baseline call failed: %v", err)
+		}
+		baseLats = append(baseLats, time.Since(t0))
+	}
+	baseP99 := p99(baseLats)
+
+	// Flash crowd: 10x capacity in concurrent workers, priorities mixed
+	// round-robin. Raw clients (no retry) so sheds surface as errors.
+	var mu sync.Mutex
+	var highLats []time.Duration
+	var completed, shed int
+	var failure error
+	fail := func(err error) {
+		if failure == nil {
+			failure = err
+		}
+	}
+	priorities := []faas.Priority{faas.PriorityLow, faas.PriorityNormal, faas.PriorityHigh}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		prio := priorities[w%len(priorities)]
+		ctx := faas.WithPriority(context.Background(), prio)
+		c := dial()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWkr; i++ {
+				payload := fmt.Sprintf("req-%p-%d", c, i)
+				t0 := time.Now()
+				out, err := c.InvokeContext(ctx, "work", []byte(payload))
+				elapsed := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err == nil:
+					if string(out) != payload {
+						fail(fmt.Errorf("accepted request corrupted: got %q want %q", out, payload))
+					}
+					completed++
+					if prio == faas.PriorityHigh {
+						highLats = append(highLats, elapsed)
+					}
+				default:
+					var re *wire.RemoteError
+					if !errors.As(err, &re) || !re.Retryable {
+						fail(fmt.Errorf("non-retryable failure under overload: %v", err))
+						break
+					}
+					if re.RetryAfter() <= 0 {
+						fail(fmt.Errorf("shed response missing Retry-After hint: %v", err))
+						break
+					}
+					if elapsed > 500*time.Millisecond {
+						fail(fmt.Errorf("shed took %v; rejections must fail fast, not wait out QueueWait", elapsed))
+						break
+					}
+					shed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failure != nil {
+		t.Fatal(failure)
+	}
+	total := workers * perWkr
+	if completed+shed != total {
+		t.Fatalf("accounting: %d completed + %d shed != %d sent", completed, shed, total)
+	}
+	if shed == 0 {
+		t.Fatal("10x crowd shed nothing; the endpoint is not actually overloaded")
+	}
+	if completed == 0 {
+		t.Fatal("admission starved the endpoint completely")
+	}
+	// The endpoint's own books must agree with the client's view: every
+	// accepted request completed, every rejection is accounted as shed,
+	// and low priority shed at least as much as high.
+	if got := ep.Shed(); got != int64(shed) {
+		t.Fatalf("endpoint counted %d shed, clients saw %d", got, shed)
+	}
+	byPrio := ep.ShedByPriority()
+	if byPrio[0] < byPrio[faas.NumPriorities-1] {
+		t.Fatalf("shedding not lowest-first: %v", byPrio)
+	}
+	if len(highLats) == 0 {
+		t.Fatal("no high-priority request survived the crowd")
+	}
+	if hp := p99(highLats); hp > 3*baseP99 {
+		t.Fatalf("high-priority p99 %v exceeds 3x unloaded baseline %v", hp, baseP99)
+	}
+}

@@ -40,6 +40,14 @@ echo "== speculation smoke (-race) =="
 go test -race -count=1 -run 'TestSpeculation' ./internal/core
 go test -race -count=1 -run 'TestE2EChaosHedgedNoRequestLost' .
 
+echo "== overload smoke (-race) =="
+# Graceful-degradation gate: a 10x flash crowd against an
+# admission-controlled endpoint loses no accepted request, sheds
+# fail-fast with Retry-After, keeps high-priority p99 bounded, and
+# admission-on goodput must be at least admission-off.
+go test -race -count=1 -run 'TestE2EOverloadGracefulDegradation' .
+go run ./cmd/continuum-bench -overload -overload-gate -overload-dur 1s -overload-out BENCH_overload.json
+
 echo "== scenario library validate =="
 # Every shipped scenario must pass the DSL validator.
 go run ./cmd/continuum-sim scenario validate examples/scenarios/*.json
