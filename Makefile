@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire bench-spec bench-overload chaos-smoke spec-smoke overload-smoke scenario-smoke trace-smoke stress
+.PHONY: check build test bench bench-wire bench-spec bench-overload bench-engine chaos-smoke spec-smoke overload-smoke engine-smoke scenario-smoke trace-smoke stress
 
 check:
 	./scripts/check.sh
@@ -30,6 +30,14 @@ bench-spec:
 bench-overload:
 	go run ./cmd/continuum-bench -overload -overload-out BENCH_overload.json
 
+# Kernel raw-speed run: the calendar-queue kernel against the pooled-heap
+# reference and a reproduction of the seed-era container/heap kernel at
+# full population sizes (up to 1M pending), plus the sharded-parallel
+# group and an end-to-end engine throughput point, recorded in
+# BENCH_engine.json.
+bench-engine:
+	go run ./cmd/continuum-bench -engine -engine-out BENCH_engine.json
+
 # End-to-end reliability smoke: chaos injection + endpoint kill under the
 # race detector (also part of `make check`).
 chaos-smoke:
@@ -49,6 +57,13 @@ spec-smoke:
 overload-smoke:
 	go test -race -count=1 -run 'TestE2EOverloadGracefulDegradation' .
 	go run ./cmd/continuum-bench -overload -overload-gate -overload-dur 1s -overload-out BENCH_overload.json
+
+# Engine smoke: trimmed kernel benchmark under the regression gate — the
+# calendar must hold the events/sec floor, stay allocation-free in steady
+# state, beat the heap reference, and the sharded-parallel group must be
+# deterministic (also part of `make check`).
+engine-smoke:
+	go run ./cmd/continuum-bench -engine -engine-quick -engine-gate -engine-out BENCH_engine.json
 
 # Scenario smoke: validate the shipped scenario library, then run one
 # scenario on both backends — simulator and live in-process fleet — under

@@ -9,6 +9,7 @@
 package continuum_test
 
 import (
+	"fmt"
 	"testing"
 
 	"continuum/internal/core"
@@ -193,6 +194,42 @@ func BenchmarkKernelManyPending(b *testing.B) {
 			k.At(rng.Float64(), func() {})
 		}
 		k.Run()
+	}
+}
+
+// BenchmarkKernelSteadyState measures the schedule+fire cycle at a held
+// queue population: every fired event reschedules itself, so each
+// iteration is exactly one insert and one extract-min at that depth.
+// Run with -benchmem: the steady-state path must report 0 allocs/op.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	for _, pending := range []int{1000, 100000, 1000000} {
+		for _, kind := range []struct {
+			name string
+			k    sim.QueueKind
+		}{{"calendar", sim.QueueCalendar}, {"heap", sim.QueueHeap}} {
+			b.Run(fmt.Sprintf("%s/pending=%d", kind.name, pending), func(b *testing.B) {
+				k := sim.NewKernelQueue(kind.k)
+				rng := workload.NewRNG(5)
+				fired, quota := 0, 0
+				var hop func()
+				hop = func() {
+					k.After(rng.Float64(), hop)
+					fired++
+					if fired >= quota {
+						k.Stop()
+					}
+				}
+				for i := 0; i < pending; i++ {
+					k.After(rng.Float64(), hop)
+				}
+				quota = pending // warm one full turnover of the population
+				k.Run()
+				fired, quota = 0, b.N
+				b.ReportAllocs()
+				b.ResetTimer()
+				k.Run()
+			})
+		}
 	}
 }
 

@@ -40,6 +40,11 @@ func main() {
 	overloadDur := flag.Duration("overload-dur", 2*time.Second, "overload bench: driven duration per mode")
 	overloadOut := flag.String("overload-out", "BENCH_overload.json", "overload bench: JSON report path")
 	overloadGate := flag.Bool("overload-gate", false, "overload bench: exit nonzero unless admission-on goodput >= admission-off (the overload-smoke CI gate)")
+	engineBench := flag.Bool("engine", false, "measure discrete-event kernel and engine throughput instead of the experiments")
+	engineQuick := flag.Bool("engine-quick", false, "engine bench: trimmed sizes for the CI gate")
+	engineOut := flag.String("engine-out", "BENCH_engine.json", "engine bench: JSON report path")
+	engineGate := flag.Bool("engine-gate", false, "engine bench: exit nonzero on throughput floor, alloc, or parallel-determinism violations")
+	engineFloor := flag.Float64("engine-floor", 1_000_000, "engine bench: minimum calendar events/sec at the largest population")
 	flag.Parse()
 
 	if *wireBench {
@@ -52,6 +57,13 @@ func main() {
 	if *specBench {
 		if err := runSpecBench(*specN, *specOut); err != nil {
 			fmt.Fprintf(os.Stderr, "continuum-bench: spec: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineBench {
+		if err := runEngineBench(*engineQuick, *engineOut, *engineGate, *engineFloor); err != nil {
+			fmt.Fprintf(os.Stderr, "continuum-bench: engine: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"continuum/internal/scenario"
@@ -85,6 +87,7 @@ func scenarioRun(args []string) {
 	gantt := fs.Int("gantt", 0, "sim backend: also print an ASCII busy-timeline of the given width")
 	traceOut := fs.String("trace", "", "sim backend: write the event trace as JSONL to this file")
 	chromeOut := fs.String("chrome-trace", "", "sim backend: write a Chrome trace-event JSON file")
+	parallel := fs.Int("parallel", 1, "sim backend: workload-synthesis workers (output is bit-identical for any value)")
 	fs.Parse(args)
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "continuum-sim scenario run: -f scenario.json required")
@@ -98,7 +101,7 @@ func scenarioRun(args []string) {
 
 	switch *backend {
 	case "sim":
-		report, tr, err := s.RunTraced()
+		report, tr, err := s.RunTracedParallel(*parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,6 +124,9 @@ func scenarioRun(args []string) {
 		if *gantt > 0 || *traceOut != "" || *chromeOut != "" {
 			fatal(fmt.Errorf("-gantt/-trace/-chrome-trace are simulator exports; the live backend has no virtual-time tracer"))
 		}
+		if *parallel > 1 {
+			fatal(fmt.Errorf("-parallel is a simulator option; the live backend runs in wall-clock time"))
+		}
 		report, err := scenario.LiveRunner{Options: scenario.LiveOptions{
 			TimeScale: *timeScale,
 			Function:  *function,
@@ -139,16 +145,24 @@ func scenarioRun(args []string) {
 
 // scenarioStress generates the large-fleet scenario, optionally dumps
 // it, and runs it on the simulator under a wall-clock budget — the scale
-// gate `make stress` enforces.
+// gate `make stress` enforces. With -runs > 1 it becomes a seed sweep:
+// replicas with consecutive seeds run across -parallel workers (each
+// replica is an independent kernel, so whole runs shard cleanly), and
+// reports print in seed order regardless of completion order.
 func scenarioStress(args []string) {
 	fs := flag.NewFlagSet("scenario stress", flag.ExitOnError)
 	nodes := fs.Int("nodes", 1000, "total fleet size")
-	seed := fs.Uint64("seed", 42, "scenario seed")
-	budget := fs.Duration("budget", 0, "fail if validate+run exceeds this wall-clock budget (0 = unlimited)")
+	seed := fs.Uint64("seed", 42, "scenario seed (first seed of a -runs sweep)")
+	runs := fs.Int("runs", 1, "replicas to run with consecutive seeds")
+	parallel := fs.Int("parallel", 1, "worker goroutines for a -runs sweep (each run is one independent kernel)")
+	budget := fs.Duration("budget", 0, "fail if validate+run exceeds this wall-clock budget (0 = unlimited, covers the whole sweep)")
 	out := fs.String("out", "", "also write the generated scenario JSON to this file")
 	validateOnly := fs.Bool("validate", false, "generate and validate only, skip the run")
 	csv := fs.Bool("csv", false, "emit the report as CSV")
 	fs.Parse(args)
+	if *runs < 1 {
+		fatal(fmt.Errorf("-runs must be >= 1, got %d", *runs))
+	}
 
 	s := scenario.GenerateStress(scenario.StressSpec{Nodes: *nodes, Seed: *seed})
 	if *out != "" {
@@ -170,15 +184,63 @@ func scenarioStress(args []string) {
 			s.Name, len(s.Nodes), len(s.Links), len(s.Events), time.Since(start).Round(time.Millisecond))
 		return
 	}
-	report, err := s.Run()
-	if err != nil {
-		fatal(err)
+
+	reports := make([]*scenario.Report, *runs)
+	errs := make([]error, *runs)
+	runOne := func(i int) {
+		si := s
+		if i > 0 {
+			si = scenario.GenerateStress(scenario.StressSpec{Nodes: *nodes, Seed: *seed + uint64(i)})
+		}
+		reports[i], errs[i] = si.Run()
+	}
+	workers := *parallel
+	if workers > *runs {
+		workers = *runs
+	}
+	if workers <= 1 {
+		for i := 0; i < *runs; i++ {
+			runOne(i)
+		}
+	} else {
+		var cursor int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&cursor, 1))
+					if i >= *runs {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	elapsed := time.Since(start)
-	printReport(report, *csv)
-	fmt.Printf("\nwall clock: %v\n", elapsed.Round(time.Millisecond))
+
+	var completed int64
+	for i := 0; i < *runs; i++ {
+		if errs[i] != nil {
+			fatal(fmt.Errorf("seed %d: %w", *seed+uint64(i), errs[i]))
+		}
+		if *runs > 1 {
+			fmt.Printf("seed %d:\n", *seed+uint64(i))
+		}
+		printReport(reports[i], *csv)
+		completed += reports[i].Completed
+	}
+	fmt.Printf("\nwall clock: %v", elapsed.Round(time.Millisecond))
+	if *runs > 1 {
+		fmt.Printf(" (%d runs x %d workers, %.0f tasks/sec aggregate)",
+			*runs, workers, float64(completed)/elapsed.Seconds())
+	}
+	fmt.Println()
 	if *budget > 0 && elapsed > *budget {
-		fatal(fmt.Errorf("stress run took %v, budget %v", elapsed.Round(time.Millisecond), *budget))
+		fatal(fmt.Errorf("stress sweep took %v, budget %v", elapsed.Round(time.Millisecond), *budget))
 	}
 }
 

@@ -56,7 +56,7 @@ type member struct {
 	n          *node.Node
 	active     bool
 	lastBusy   float64
-	drainTimer *sim.Timer
+	drainTimer sim.Timer
 	// activeSince tracks the current activation for node-seconds billing.
 	activeSince float64
 	nodeSeconds float64
@@ -160,10 +160,7 @@ func (p *Pool) Submit(scalarWork, tensorWork float64, kind node.AccelKind, done 
 		panic("autoscale: no active nodes (Min >= 1 should prevent this)")
 	}
 	p.Outstanding++
-	if m.drainTimer != nil {
-		m.drainTimer.Cancel()
-		m.drainTimer = nil
-	}
+	m.drainTimer.Cancel()
 	m.lastBusy = p.cont.K.Now()
 	p.cont.Tracer.Record(p.cont.K.Now(), trace.TaskStart, m.n.Name, "")
 	m.n.Execute(scalarWork, tensorWork, kind, func() {
@@ -215,11 +212,10 @@ func (p *Pool) maybeScaleUp() {
 
 // armDrain starts m's idle countdown if none is pending.
 func (p *Pool) armDrain(m *member) {
-	if !m.active || m.drainTimer != nil {
+	if !m.active || m.drainTimer.Pending() {
 		return
 	}
 	m.drainTimer = p.cont.K.After(p.cfg.DrainAfter, func() {
-		m.drainTimer = nil
 		if !m.active || p.Active() <= p.cfg.Min {
 			return
 		}

@@ -36,6 +36,18 @@ type engine struct {
 	// fb receives measured latencies when the policy implements
 	// placement.FeedbackPolicy (stream runs only).
 	fb placement.FeedbackPolicy
+
+	// hasFaults caches len(opts.Faults) > 0 so fault-free runs skip the
+	// per-dispatch epoch map lookups (three per attempt) entirely.
+	hasFaults bool
+
+	// Per-dispatch scratch, reused across attempts. The kernel is
+	// single-threaded and policies consume their Env synchronously
+	// without retaining it, so one buffer per purpose suffices — the
+	// steady-state dispatch path allocates nothing.
+	liveScratch   []*node.Node
+	backupScratch []*node.Node
+	envScratch    placement.Env
 }
 
 // defaultRetryBackoff paces re-dispatch when ReliableOptions leaves
@@ -46,7 +58,7 @@ func newEngine(c *Continuum, opts ReliableOptions) *engine {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = defaultRetryBackoff
 	}
-	return &engine{c: c, st: &ReliableStats{Stats: newStats()}, opts: opts}
+	return &engine{c: c, st: &ReliableStats{Stats: newStats()}, opts: opts, hasFaults: len(opts.Faults) > 0}
 }
 
 // unit is one attempt at executing a task on a chosen node.
@@ -120,11 +132,14 @@ func (e *engine) afterDisturb(u unit, drop bool) {
 // attempt number. Every record is nil-safe, so a continuum without a
 // tracer pays only the dead branch inside Tracer.RecordAttempt.
 func (e *engine) dispatch(u unit) {
-	epoch0 := e.opts.epoch(u.node)
+	var epoch0 uint64
+	if e.hasFaults {
+		epoch0 = e.opts.epoch(u.node)
+	}
 	start := e.c.K.Now()
 	e.c.Tracer.RecordAttempt(start, trace.Dispatch, u.node.Name, u.task.Name, u.attempt)
 	e.stage(u, func() {
-		if e.opts.epoch(u.node) != epoch0 {
+		if e.hasFaults && e.opts.epoch(u.node) != epoch0 {
 			e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.Failure, u.node.Name, u.task.Name+" inputs lost", u.attempt)
 			u.lost()
 			return
@@ -135,7 +150,7 @@ func (e *engine) dispatch(u unit) {
 		e.c.Tracer.RecordAttempt(e.c.K.Now(), trace.TaskStart, u.node.Name, u.task.Name, u.attempt)
 		u.node.Execute(u.task.ScalarWork, u.task.TensorWork, u.task.Accel, func() {
 			now := e.c.K.Now()
-			if e.opts.epoch(u.node) != epoch0 {
+			if e.hasFaults && e.opts.epoch(u.node) != epoch0 {
 				e.c.Tracer.RecordAttempt(now, trace.Failure, u.node.Name, u.task.Name+" lost", u.attempt)
 				u.lost()
 				return
@@ -246,7 +261,7 @@ func (e *engine) complete(n *node.Node, latencyBase float64) {
 type specGroup struct {
 	won         bool
 	outstanding int
-	timer       *sim.Timer
+	timer       sim.Timer
 }
 
 // speculate dispatches one unit with hedged execution: the primary runs
@@ -279,9 +294,7 @@ func (e *engine) speculate(mk func(n *node.Node, attempt int) unit, primary *nod
 				return
 			}
 			g.won = true
-			if g.timer != nil {
-				g.timer.Cancel()
-			}
+			g.timer.Cancel()
 			if backup {
 				e.st.SpeculativeWins++
 			}
@@ -292,9 +305,7 @@ func (e *engine) speculate(mk func(n *node.Node, attempt int) unit, primary *nod
 			if g.won || g.outstanding > 0 {
 				return // the sibling still carries the unit
 			}
-			if g.timer != nil {
-				g.timer.Cancel()
-			}
+			g.timer.Cancel()
 			lost()
 		}
 		return v
@@ -385,18 +396,20 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 	attempt = func(j StreamJob, retriesLeft int, seq *int) {
 		again := func() { attempt(j, retriesLeft-1, seq) }
 		env := staticEnv
-		if len(e.opts.Faults) > 0 || e.opts.Cordoned != nil {
-			live := make([]*node.Node, 0, len(candidates))
+		if e.hasFaults || e.opts.Cordoned != nil {
+			live := e.liveScratch[:0]
 			for _, n := range candidates {
 				if e.opts.eligible(n) {
 					live = append(live, n)
 				}
 			}
+			e.liveScratch = live
 			if len(live) == 0 {
 				e.retry(retriesLeft, again, release)
 				return
 			}
-			env = &placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
+			e.envScratch = placement.Env{Net: c.Net, Nodes: live, Fabric: c.Fabric}
+			env = &e.envScratch
 		}
 		req := placement.Request{Task: j.Task, Origin: j.Origin}
 		n := pol.Select(env, req)
@@ -429,16 +442,18 @@ func (c *Continuum) runStream(pol placement.Policy, jobs []StreamJob, candidates
 		// are still eligible (up, not cordoned) at hedge time, with the
 		// straggling primary excluded.
 		e.speculate(mk, n, seq, func() *node.Node {
-			rest := make([]*node.Node, 0, len(candidates))
+			rest := e.backupScratch[:0]
 			for _, cn := range candidates {
 				if cn != n && e.opts.eligible(cn) {
 					rest = append(rest, cn)
 				}
 			}
+			e.backupScratch = rest
 			if len(rest) == 0 {
 				return nil
 			}
-			return pol.Select(&placement.Env{Net: c.Net, Nodes: rest, Fabric: c.Fabric}, req)
+			e.envScratch = placement.Env{Net: c.Net, Nodes: rest, Fabric: c.Fabric}
+			return pol.Select(&e.envScratch, req)
 		})
 	}
 

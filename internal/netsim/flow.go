@@ -18,7 +18,7 @@ type Flow struct {
 	rate       float64 // current allocated bytes/sec
 	lastUpdate float64 // virtual time of last remaining/rate update
 
-	timer *sim.Timer // pending completion event
+	timer sim.Timer // pending completion event
 	done  func(*Flow)
 	net   *Network
 
@@ -93,10 +93,8 @@ func (n *Network) reallocate() {
 	now := n.k.Now()
 	for f := range n.active {
 		f.advance(now)
-		if f.timer != nil {
-			f.timer.Cancel()
-			f.timer = nil
-		}
+		f.timer.Cancel()
+		f.timer = sim.Timer{}
 	}
 
 	// Progressive filling: repeatedly saturate the tightest link.
@@ -165,7 +163,7 @@ func (n *Network) finishFlow(f *Flow) {
 	for _, l := range f.path {
 		delete(l.flows, f)
 	}
-	f.timer = nil
+	f.timer = sim.Timer{}
 	f.rate = 0
 	// Don't double-count bytes: complete() adds Size once.
 	f.complete()

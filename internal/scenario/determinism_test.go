@@ -13,9 +13,9 @@ import (
 // seeds, scheduler tie-breaks) must come from the scenario's seed tree
 // for this to hold.
 func TestScenarioBitReproducible(t *testing.T) {
-	run := func(seed uint64) ([]byte, []byte) {
+	run := func(seed uint64, workers int) ([]byte, []byte) {
 		s := GenerateStress(StressSpec{Nodes: 64, Seed: seed, Origins: 16, Horizon: 10})
-		r, tr, err := s.RunTraced()
+		r, tr, err := s.RunTracedParallel(workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -30,8 +30,8 @@ func TestScenarioBitReproducible(t *testing.T) {
 		return rb, buf.Bytes()
 	}
 
-	r1, t1 := run(7)
-	r2, t2 := run(7)
+	r1, t1 := run(7, 1)
+	r2, t2 := run(7, 1)
 	if !bytes.Equal(r1, r2) {
 		t.Fatalf("same seed, different reports:\n%s\n%s", r1, r2)
 	}
@@ -39,7 +39,17 @@ func TestScenarioBitReproducible(t *testing.T) {
 		t.Fatal("same seed, different JSONL traces")
 	}
 
-	r3, t3 := run(8)
+	// -parallel must be invisible in the output: the same seed with
+	// parallel workload synthesis produces the identical bytes.
+	r1p, t1p := run(7, 8)
+	if !bytes.Equal(r1, r1p) {
+		t.Fatalf("parallel workers changed the report:\n%s\n%s", r1, r1p)
+	}
+	if !bytes.Equal(t1, t1p) {
+		t.Fatal("parallel workers changed the JSONL trace")
+	}
+
+	r3, t3 := run(8, 1)
 	if bytes.Equal(r1, r3) && bytes.Equal(t1, t3) {
 		t.Fatal("different seeds produced identical runs — seed is not wired through")
 	}

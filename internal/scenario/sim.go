@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"continuum/internal/core"
 	"continuum/internal/fault"
 	"continuum/internal/netsim"
@@ -26,6 +29,19 @@ func (s *Scenario) Run() (*Report, error) {
 // RunTraced is Run plus the event trace of the execution, for timeline
 // rendering (continuum-sim -gantt).
 func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
+	return s.RunTracedParallel(1)
+}
+
+// RunTracedParallel is RunTraced with up to workers goroutines
+// synthesizing the per-origin arrival streams. The event loop itself
+// stays serial — placement and max-min fair bandwidth sharing are
+// globally coupled, so the engine's determinism comes from one kernel —
+// but workload synthesis is embarrassingly parallel per origin: the
+// per-origin RNGs are split off serially (fixing the stream identities),
+// the origins' job lists are generated concurrently, and the lists are
+// concatenated in origin order. The result is bit-identical to workers=1
+// for any worker count.
+func (s *Scenario) RunTracedParallel(workers int) (*Report, *trace.Tracer, error) {
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -66,7 +82,7 @@ func (s *Scenario) RunTraced() (*Report, *trace.Tracer, error) {
 
 	var rep *Report
 	if s.Stream != nil {
-		rep, err = s.runStream(c, byName, rng, ops, opts)
+		rep, err = s.runStream(c, byName, rng, ops, opts, workers)
 	} else {
 		rep, err = s.runDAG(c, rng, opts)
 	}
@@ -289,7 +305,7 @@ func scheduleCycle(c *core.Continuum, t *fault.Target, spec fault.Spec, from, st
 	scheduleFail(from)
 }
 
-func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rng *workload.RNG, ops []op, opts core.ReliableOptions) (*Report, error) {
+func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rng *workload.RNG, ops []op, opts core.ReliableOptions, workers int) (*Report, error) {
 	pol, err := parsePolicy(s.Stream.Policy, rng.Split())
 	if err != nil {
 		return nil, err
@@ -301,16 +317,27 @@ func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rn
 		}
 	}
 	ph := phases(ops)
-	var jobs []core.StreamJob
-	for _, origin := range s.Stream.Origins {
-		arr := workload.NewPiecewise(rng.Split(), s.Stream.RatePerOrigin, ph)
+	// Per-origin arrival synthesis. The RNGs are split off serially — the
+	// split order is the origins' declaration order, exactly as the
+	// sequential loop would draw them — so each origin's stream is a fixed
+	// function of (seed, origin index) and the generation below can run on
+	// any number of goroutines without changing a single arrival.
+	origins := s.Stream.Origins
+	rngs := make([]*workload.RNG, len(origins))
+	for i := range origins {
+		rngs[i] = rng.Split()
+	}
+	perOrigin := make([][]core.StreamJob, len(origins))
+	gen := func(i int) {
+		arr := workload.NewPiecewise(rngs[i], s.Stream.RatePerOrigin, ph)
 		t := 0.0
+		var out []core.StreamJob
 		for {
 			t += arr.Next()
 			if t > s.Stream.Horizon {
 				break
 			}
-			jobs = append(jobs, core.StreamJob{
+			out = append(out, core.StreamJob{
 				Task: &task.Task{
 					Name:        "job",
 					ScalarWork:  s.Stream.ScalarWork,
@@ -319,11 +346,42 @@ func (s *Scenario) runStream(c *core.Continuum, byName map[string]*node.Node, rn
 					OutputBytes: s.Stream.OutputBytes,
 					Inputs:      []task.DataRef{{Name: "in", Bytes: s.Stream.InputBytes}},
 				},
-				Origin:   byName[origin].ID,
+				Origin:   byName[origins[i]].ID,
 				Submit:   t,
-				Priority: s.Stream.Priorities[origin],
+				Priority: s.Stream.Priorities[origins[i]],
 			})
 		}
+		perOrigin[i] = out
+	}
+	if workers <= 1 || len(origins) == 1 {
+		for i := range origins {
+			gen(i)
+		}
+	} else {
+		var cursor int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers && w < len(origins); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&cursor, 1))
+					if i >= len(origins) {
+						return
+					}
+					gen(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, p := range perOrigin {
+		total += len(p)
+	}
+	jobs := make([]core.StreamJob, 0, total)
+	for _, p := range perOrigin {
+		jobs = append(jobs, p...)
 	}
 	st := c.RunStreamReliable(pol, jobs, nil, opts)
 	return reportFromStats(s.Name, "stream/"+s.Stream.Policy, st), nil

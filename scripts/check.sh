@@ -48,6 +48,13 @@ echo "== overload smoke (-race) =="
 go test -race -count=1 -run 'TestE2EOverloadGracefulDegradation' .
 go run ./cmd/continuum-bench -overload -overload-gate -overload-dur 1s -overload-out BENCH_overload.json
 
+echo "== engine smoke =="
+# Kernel raw-speed gate: a trimmed calendar-vs-baseline benchmark must
+# hold the throughput floor, run the steady-state path allocation-free,
+# beat the pooled-heap reference, and the sharded-parallel group must
+# fire identically serial and parallel.
+go run ./cmd/continuum-bench -engine -engine-quick -engine-gate -engine-out BENCH_engine.json
+
 echo "== scenario library validate =="
 # Every shipped scenario must pass the DSL validator.
 go run ./cmd/continuum-sim scenario validate examples/scenarios/*.json
