@@ -1,6 +1,6 @@
 # Canonical targets; `make check` is the tier-1 gate CI and reviewers run.
 
-.PHONY: check build test bench bench-wire bench-spec bench-overload bench-engine chaos-smoke spec-smoke overload-smoke engine-smoke scenario-smoke trace-smoke stress
+.PHONY: check build test bench bench-wire bench-spec bench-overload bench-engine chaos-smoke spec-smoke overload-smoke engine-smoke scenario-smoke trace-smoke federation-smoke stress
 
 check:
 	./scripts/check.sh
@@ -78,6 +78,16 @@ scenario-smoke:
 # and export as a Chrome trace file (also part of `make check`).
 trace-smoke:
 	./scripts/trace_smoke.sh
+
+# Federation smoke: the federated control-plane gate under the race
+# detector — a continuum-router fronting three daemons survives one hard
+# kill and one graceful drain with zero accepted requests lost, the
+# endpoints op tracks membership on the heartbeat schedule, and a
+# router-fronted live scenario replays join/leave churn losslessly
+# (also part of `make check`).
+federation-smoke:
+	go test -race -count=1 -run 'TestE2EFederationChurnNoRequestLost' .
+	go test -race -count=1 -run 'TestLiveRouterChurnZeroLost' ./internal/scenario
 
 # Scale harness: generate a 1000-node scenario, validate it, and run it
 # through the simulator inside a generous CI-safe wall-clock budget.

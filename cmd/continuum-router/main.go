@@ -1,0 +1,203 @@
+// Command continuum-router is the federation control plane: a registry
+// and router that many continuumd daemons register with over the wire
+// protocol. Daemons join with -router, heartbeat their live load, and
+// the router routes client invocations across the fleet with a
+// pluggable policy — consistent hashing on function+payload affinity
+// (the default: warm containers stay warm) or least-loaded (new work
+// flows toward spare capacity).
+//
+// Usage:
+//
+//	continuum-router -listen 127.0.0.1:9080
+//	continuum-router -listen 127.0.0.1:9080 -policy least-loaded -heartbeat 2s
+//	continuum-router -listen 127.0.0.1:9080 -metrics-addr 127.0.0.1:9081
+//
+// Clients talk to the router exactly as they would to a single daemon:
+// continuumctl invoke/bench/ping against the router's address routes
+// across the fleet; `continuumctl endpoints` renders the live
+// membership table. Routing composes the policy's preference order with
+// the reliable-client machinery — retry with backoff walks down the
+// preference list, per-member circuit breakers route around repeat
+// offenders, and -hedge races a second member against a slow first
+// choice — so member deaths and drains resolve without losing accepted
+// requests.
+//
+// Membership is leased: a member silent for -suspect-after heartbeat
+// intervals stops receiving new work (state "suspect"), and one silent
+// for -expire-after intervals is expired and dropped. A draining member
+// (continuumd shutting down, `Leave(drain)`) stops receiving new work
+// immediately but keeps its connections until in-flight work finishes.
+//
+// With -metrics-addr the router serves Prometheus text exposition on
+// /metrics (federation_* membership and routing series plus the wire
+// client/server series), a liveness probe on /healthz, and its span
+// store on /debug/traces — traced invocations record the router hop, so
+// `continuumctl trace` shows the route decision chain between client
+// and daemon spans.
+//
+// On SIGINT/SIGTERM the router drains in-flight routes (bounded by
+// -grace) and exits. Daemons keep retrying registration, so a restarted
+// router rebuilds its membership within one heartbeat interval — agents
+// whose generation it no longer knows are told to re-register.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // handlers forwarded onto the metrics mux under -pprof
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"continuum/internal/federation"
+	"continuum/internal/metrics"
+	"continuum/internal/retry"
+	"continuum/internal/trace"
+	"continuum/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9080", "address to serve on")
+	policyName := flag.String("policy", "hash", "routing policy: hash (consistent hashing on function+payload) or least-loaded")
+	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval granted to members (0 = default 2s)")
+	suspectAfter := flag.Int("suspect-after", 0, "missed heartbeat intervals before a member stops receiving new work (0 = default 2)")
+	expireAfter := flag.Int("expire-after", 0, "missed heartbeat intervals before a member is expired and dropped (0 = default 4)")
+	callTimeout := flag.Duration("timeout", 0, "per-routed-call deadline (0 = none)")
+	hedgeSpec := flag.String("hedge", "", "hedge slow routed calls at a second member: 'auto' (p99-derived delay) or a fixed duration like '5ms' (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
+	verbose := flag.Bool("verbose", false, "log membership transitions and one structured line per request")
+	workers := flag.Int("workers", 0, "max concurrent requests per connection for multiplexing clients (0 = default)")
+	grace := flag.Duration("grace", 10*time.Second, "in-flight drain bound for graceful shutdown on SIGINT/SIGTERM")
+	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity for distributed tracing (0 = default 4096)")
+	pprof := flag.Bool("pprof", false, "mount net/http/pprof debug handlers on the -metrics-addr mux")
+	flag.Parse()
+
+	policy, ok := federation.PolicyByName(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "continuum-router: -policy %q: want hash or least-loaded\n", *policyName)
+		os.Exit(2)
+	}
+	hedge, err := parseHedge(*hedgeSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "continuum-router:", err)
+		os.Exit(2)
+	}
+
+	var logger *slog.Logger
+	if *verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	var m *metrics.Registry
+	if *metricsAddr != "" {
+		m = metrics.NewRegistry()
+	}
+	spans := trace.NewSpanStore(*traceBuf)
+
+	rt, err := federation.NewRouter(federation.RouterConfig{
+		Registry: federation.Config{
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			ExpireAfter:       *expireAfter,
+		},
+		Policy: policy,
+		Client: wire.ReliableConfig{
+			Retry:       retry.Policy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond},
+			CallTimeout: *callTimeout,
+			Hedge:       hedge,
+		},
+		Metrics: m,
+		Spans:   spans,
+		Logger:  logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "continuum-router:", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	srv := &wire.Server{
+		Invoker: rt,
+		Ops:     rt,
+		Workers: *workers,
+		Name:    "router",
+		Spans:   spans,
+		Logger:  logger,
+		Metrics: m,
+	}
+	if m != nil {
+		go serveMetrics(*metricsAddr, m, spans, *pprof)
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "continuum-router:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("continuum-router: routing with policy %q on %s (heartbeat %v)\n",
+		*policyName, lis.Addr(), rt.Registry().HeartbeatInterval())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		s := <-sig
+		fmt.Printf("continuum-router: %v: draining in-flight routes (grace %v)\n", s, *grace)
+		srv.Shutdown(*grace)
+		close(drained)
+	}()
+
+	if err := srv.Serve(lis); err != nil {
+		fmt.Fprintln(os.Stderr, "continuum-router:", err)
+		os.Exit(1)
+	}
+	<-drained
+	routes, errs := rt.RouteStats()
+	fmt.Printf("continuum-router: drained, exiting (%d routed, %d failed)\n", routes, errs)
+}
+
+// parseHedge turns the -hedge flag into a wire.HedgeConfig: "" = off,
+// "auto" = p99-derived delay, anything else = a fixed delay duration.
+func parseHedge(s string) (wire.HedgeConfig, error) {
+	switch s {
+	case "":
+		return wire.HedgeConfig{}, nil
+	case "auto":
+		return wire.HedgeConfig{Enabled: true}, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return wire.HedgeConfig{}, fmt.Errorf("-hedge: want 'auto' or a positive duration, got %q", s)
+		}
+		return wire.HedgeConfig{Enabled: true, Delay: d}, nil
+	}
+}
+
+// serveMetrics exposes the router's registry in Prometheus text format,
+// a liveness probe, and the span store as /debug/traces JSON (?trace=<id>
+// filters to one trace); withPprof mounts net/http/pprof on the same mux.
+func serveMetrics(addr string, m *metrics.Registry, spans *trace.SpanStore, withPprof bool) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		spans.WriteJSON(w, r.URL.Query().Get("trace"))
+	})
+	if withPprof {
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	}
+	fmt.Printf("continuum-router: metrics on http://%s/metrics\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil && !strings.Contains(err.Error(), "Server closed") {
+		fmt.Fprintln(os.Stderr, "continuum-router: metrics server:", err)
+	}
+}

@@ -88,6 +88,8 @@ func scenarioRun(args []string) {
 	traceOut := fs.String("trace", "", "sim backend: write the event trace as JSONL to this file")
 	chromeOut := fs.String("chrome-trace", "", "sim backend: write a Chrome trace-event JSON file")
 	parallel := fs.Int("parallel", 1, "sim backend: workload-synthesis workers (output is bit-identical for any value)")
+	router := fs.Bool("router", false, "live backend: front the fleet with an in-process continuum-router and drive every request through it")
+	policy := fs.String("policy", "", "live backend with -router: routing policy, hash or least-loaded (default hash)")
 	fs.Parse(args)
 	if *file == "" {
 		fmt.Fprintln(os.Stderr, "continuum-sim scenario run: -f scenario.json required")
@@ -130,6 +132,8 @@ func scenarioRun(args []string) {
 		report, err := scenario.LiveRunner{Options: scenario.LiveOptions{
 			TimeScale: *timeScale,
 			Function:  *function,
+			Router:    *router,
+			Policy:    *policy,
 		}}.Run(s)
 		if err != nil {
 			fatal(err)

@@ -5,6 +5,7 @@
 //
 //	continuumctl -addr 127.0.0.1:9090 ping
 //	continuumctl -addr 127.0.0.1:9090 list
+//	continuumctl -addr 127.0.0.1:9080 endpoints
 //	continuumctl -addr 127.0.0.1:9090 stats
 //	continuumctl -addr 127.0.0.1:9090 invoke echo 'hello'
 //	continuumctl -addr 127.0.0.1:9090 invoke matmul '{"n":64}'
@@ -160,6 +161,29 @@ func main() {
 		}
 		for _, n := range names {
 			fmt.Println(n)
+		}
+
+	case "endpoints":
+		// Federation membership: -addr should point at a continuum-router.
+		members, err := admin().Endpoints()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %-21s %-9s %5s %6s %9s %6s %8s %6s\n",
+			"MEMBER", "ADDR", "STATE", "GEN", "QUEUE", "INFLIGHT", "SLOTS", "CAP", "AGE")
+		for _, m := range members {
+			slots := fmt.Sprintf("%d", m.SlotLimit)
+			if m.SlotLimit <= 0 {
+				slots = "-"
+			}
+			state := m.State
+			if m.Cordoned && state == "alive" {
+				state = "cordoned"
+			}
+			fmt.Printf("%-12s %-21s %-9s %5d %6d %9d %6s %8d %6s\n",
+				m.Name, m.Addr, state, m.Generation, m.QueueDepth, m.InFlight,
+				slots, m.Capacity,
+				(time.Duration(m.AgeMS) * time.Millisecond).Round(time.Millisecond))
 		}
 
 	case "stats":
@@ -627,6 +651,7 @@ func usage() {
 commands:
   ping                      round-trip check
   list                      registered functions
+  endpoints                 federation membership table (point -addr at a continuum-router)
   stats                     endpoint counters
   invoke <fn> [payload]     call a function
   top [-i interval] [-n refreshes]        live per-function latency table

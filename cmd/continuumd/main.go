@@ -9,6 +9,15 @@
 //	continuumd -listen 127.0.0.1:9090 -capacity 8 -cold 2ms
 //	continuumd -listen 127.0.0.1:9090 -metrics-addr 127.0.0.1:9091
 //	continuumd -listen 127.0.0.1:9090 -chaos 'err=0.1,delay=20ms,delayp=0.3'
+//	continuumd -listen 127.0.0.1:9090 -router 127.0.0.1:9080
+//
+// With -router the daemon joins a continuum-router federation: it
+// registers over the wire protocol, heartbeats its live load (queue
+// depth, in-flight, slot limit, cordon state), re-registers whenever
+// the router stops recognizing it, and on shutdown announces a
+// graceful drain — the router stops routing new work here immediately
+// while in-flight requests finish. -advertise overrides the address
+// the router dials back (needed when -listen binds a wildcard).
 //
 // With -metrics-addr the daemon serves Prometheus text exposition on
 // /metrics (per-function latency histograms, cold/warm splits, in-flight
@@ -71,6 +80,7 @@ import (
 
 	"continuum/internal/faas"
 	"continuum/internal/fault"
+	"continuum/internal/federation"
 	"continuum/internal/metrics"
 	"continuum/internal/trace"
 	"continuum/internal/wire"
@@ -96,6 +106,8 @@ func main() {
 	hedge := flag.Bool("hedge", false, "free the capacity slot of a cancelled invocation immediately (server-side support for hedged clients: the losing hedge arm stops occupying a container slot)")
 	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity for distributed tracing (0 = default 4096)")
 	pprof := flag.Bool("pprof", false, "mount net/http/pprof debug handlers on the -metrics-addr mux")
+	router := flag.String("router", "", "continuum-router address to register with; the daemon joins the federation and heartbeats its live load (empty = standalone)")
+	advertise := flag.String("advertise", "", "address the router should dial to reach this daemon (defaults to -listen; set it when -listen binds a wildcard or NATed address)")
 	flag.Parse()
 
 	if *name == "" {
@@ -165,12 +177,42 @@ func main() {
 	fmt.Printf("continuumd: endpoint %q serving %d functions on %s (capacity %d, cold start %v)\n",
 		*name, len(reg.Names()), lis.Addr(), *capacity, *cold)
 
+	// Federated mode: join the router once the listener is serving, so
+	// the advertised address is live before the router can route to it.
+	var agent *federation.Agent
+	if *router != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = lis.Addr().String()
+		}
+		agent = federation.NewAgent(federation.AgentConfig{
+			RouterAddr: *router,
+			Name:       *name,
+			Advertise:  adv,
+			Endpoint:   ep,
+			Functions:  reg.Names(),
+			Logger:     srv.Logger,
+		})
+		agent.Start()
+		fmt.Printf("continuumd: joining federation at %s (advertising %s)\n", *router, adv)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan struct{})
 	go func() {
 		s := <-sig
 		fmt.Printf("continuumd: %v: draining in-flight requests (grace %v)\n", s, *grace)
+		if agent != nil {
+			// Announce the drain BEFORE shutting the listener down: the
+			// router stops routing new work here immediately while the
+			// connections carrying in-flight work stay up until it
+			// finishes.
+			ep.SetCordon(true)
+			if err := agent.Leave(true); err != nil {
+				fmt.Fprintln(os.Stderr, "continuumd: federation drain announce:", err)
+			}
+		}
 		srv.Shutdown(*grace) // Serve returns nil once the drain completes
 		close(drained)
 	}()

@@ -117,6 +117,8 @@ type OverloadError struct {
 	Evicted bool
 }
 
+// Error renders the shed/evicted verdict with its priority class and
+// Retry-After hint.
 func (e *OverloadError) Error() string {
 	verb := "shed"
 	if e.Evicted {

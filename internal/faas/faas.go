@@ -365,6 +365,32 @@ func (ep *Endpoint) QueueDepth() int {
 	return ep.adm.QueueDepth()
 }
 
+// LoadSnapshot is one endpoint's instantaneous load picture — the body
+// a federated daemon advertises in its heartbeats so the router can
+// route least-loaded without an extra round trip.
+type LoadSnapshot struct {
+	// QueueDepth is the number of invocations waiting for admission.
+	QueueDepth int
+	// InFlight is the number of invocations currently executing.
+	InFlight int64
+	// SlotLimit is the current (possibly elastic) concurrency limit.
+	SlotLimit int
+	// Cordoned reports whether the endpoint rejects new work.
+	Cordoned bool
+}
+
+// Load returns the endpoint's instantaneous load snapshot. The fields
+// are read independently, so a snapshot taken under concurrent traffic
+// is approximate — exactly as load advertisements must be.
+func (ep *Endpoint) Load() LoadSnapshot {
+	return LoadSnapshot{
+		QueueDepth: ep.QueueDepth(),
+		InFlight:   ep.Running(),
+		SlotLimit:  ep.SlotLimit(),
+		Cordoned:   ep.Cordoned(),
+	}
+}
+
 // SetCordon marks the endpoint cordoned (true) or schedulable again
 // (false). A cordoned endpoint finishes its in-flight invocations but
 // rejects new ones with ErrCordoned — a retryable verdict, so reliable

@@ -1,0 +1,165 @@
+package federation
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"continuum/internal/wire"
+)
+
+// Policy orders the routable members for one invocation. The returned
+// slice is a preference-ordered dial-address list: the router's client
+// tries the first admitted entry, a retry after its failure moves to
+// the next, and an exhausted list degrades to round-robin failover over
+// whatever is left. Implementations must be safe for concurrent use and
+// must not retain or mutate members.
+type Policy interface {
+	Order(fn string, payload []byte, members []wire.MemberStatus) []string
+}
+
+// serves reports whether a member advertises fn. An empty Functions
+// list means the member serves everything (a homogeneous fleet needs no
+// capability filtering).
+func serves(m *wire.MemberStatus, fn string) bool {
+	if len(m.Functions) == 0 {
+		return true
+	}
+	for _, f := range m.Functions {
+		if f == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// hashVnodes is how many virtual nodes each member contributes to the
+// consistent-hash ring. More vnodes smooth the key distribution across
+// unevenly-named members at the cost of a bigger per-call sort; 64 is
+// plenty for the fleet sizes one router fronts.
+const hashVnodes = 64
+
+// HashPolicy is consistent hashing on function+payload affinity: the
+// invocation key (fn and the payload bytes) hashes to a point on a ring
+// of member virtual nodes, and the preference order is the ring walk
+// from that point. The same arguments keep landing on the same member —
+// warm containers and caches stay warm — while membership churn remaps
+// only the keys the departed member owned, not the whole keyspace. The
+// ring is rebuilt per call from the routable set (fleets a single
+// router fronts are small, and members carry live state a cached ring
+// would go stale on).
+type HashPolicy struct{}
+
+// mix64 is the murmur3 finalizer: full avalanche, so the clustered
+// outputs FNV produces for similar inputs (adjacent vnode indexes,
+// sequential payloads) still spread uniformly over the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Order implements Policy: the ring walk from the invocation key's
+// point, capability-filtered, deduplicated to distinct members.
+func (HashPolicy) Order(fn string, payload []byte, members []wire.MemberStatus) []string {
+	type vnode struct {
+		point uint64
+		addr  string
+	}
+	ring := make([]vnode, 0, hashVnodes*len(members))
+	for i := range members {
+		m := &members[i]
+		if !serves(m, fn) {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(m.Name))
+		base := h.Sum64()
+		for v := 0; v < hashVnodes; v++ {
+			point := mix64(base + uint64(v)*0x9e3779b97f4a7c15) // golden-ratio stride per vnode
+			ring = append(ring, vnode{point: point, addr: m.Addr})
+		}
+	}
+	if len(ring) == 0 {
+		return nil
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].point < ring[j].point })
+
+	kh := fnv.New64a()
+	kh.Write([]byte(fn))
+	kh.Write(payload)
+	key := mix64(kh.Sum64())
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].point >= key })
+
+	seen := make(map[string]struct{}, len(members))
+	out := make([]string, 0, len(members))
+	for i := 0; i < len(ring) && len(seen) < len(members); i++ {
+		addr := ring[(start+i)%len(ring)].addr
+		if _, dup := seen[addr]; dup {
+			continue
+		}
+		seen[addr] = struct{}{}
+		out = append(out, addr)
+	}
+	return out
+}
+
+// LeastLoadedPolicy orders members by instantaneous load pressure —
+// (queue depth + in-flight) normalized by the advertised slot limit —
+// so new work flows toward spare capacity. Load figures are one
+// heartbeat old by construction; the router's breakers and retries
+// absorb the staleness. Ties break by name for determinism.
+type LeastLoadedPolicy struct{}
+
+// Order implements Policy.
+func (LeastLoadedPolicy) Order(fn string, _ []byte, members []wire.MemberStatus) []string {
+	type scored struct {
+		score float64
+		name  string
+		addr  string
+	}
+	out := make([]scored, 0, len(members))
+	for i := range members {
+		m := &members[i]
+		if !serves(m, fn) {
+			continue
+		}
+		slots := m.SlotLimit
+		if slots <= 0 {
+			slots = m.Capacity
+		}
+		if slots <= 0 {
+			slots = 1
+		}
+		out = append(out, scored{
+			score: float64(m.QueueDepth+int(m.InFlight)) / float64(slots),
+			name:  m.Name,
+			addr:  m.Addr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score < out[j].score
+		}
+		return out[i].name < out[j].name
+	})
+	addrs := make([]string, len(out))
+	for i, s := range out {
+		addrs[i] = s.addr
+	}
+	return addrs
+}
+
+// PolicyByName maps the -policy flag values to implementations:
+// "hash" (consistent hashing, the default) and "least-loaded".
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "", "hash":
+		return HashPolicy{}, true
+	case "least-loaded", "least_loaded", "leastloaded":
+		return LeastLoadedPolicy{}, true
+	}
+	return nil, false
+}

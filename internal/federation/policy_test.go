@@ -1,0 +1,113 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"continuum/internal/wire"
+)
+
+func routableSet(names ...string) []wire.MemberStatus {
+	out := make([]wire.MemberStatus, len(names))
+	for i, n := range names {
+		out[i] = wire.MemberStatus{
+			MemberInfo: wire.MemberInfo{Name: n, Addr: "addr-" + n, SlotLimit: 4},
+			State:      StateAlive,
+		}
+	}
+	return out
+}
+
+// TestHashPolicyAffinity: the same function+payload always lands on the
+// same member, and distinct keys spread across the fleet.
+func TestHashPolicyAffinity(t *testing.T) {
+	members := routableSet("a", "b", "c")
+	var p HashPolicy
+	hits := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("payload-%d", i))
+		first := p.Order("fn", key, members)[0]
+		again := p.Order("fn", key, members)[0]
+		if first != again {
+			t.Fatalf("key %d not stable: %s then %s", i, first, again)
+		}
+		hits[first]++
+	}
+	if len(hits) != 3 {
+		t.Fatalf("200 keys landed on %d of 3 members: %v", len(hits), hits)
+	}
+	for addr, n := range hits {
+		if n < 20 {
+			t.Fatalf("distribution badly skewed: %s got %d of 200 (%v)", addr, n, hits)
+		}
+	}
+}
+
+// TestHashPolicyMinimalRemap is the point of CONSISTENT hashing: losing
+// one member remaps only the keys it owned — everything else keeps its
+// assignment, so the fleet's warm containers stay warm through churn.
+func TestHashPolicyMinimalRemap(t *testing.T) {
+	full := routableSet("a", "b", "c", "d")
+	without := routableSet("a", "b", "c") // d left
+	var p HashPolicy
+	moved := 0
+	const keys = 400
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("payload-%d", i))
+		before := p.Order("fn", key, full)[0]
+		after := p.Order("fn", key, without)[0]
+		if before == "addr-d" {
+			continue // d's keys must move; that's the remap we accept
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys not owned by the departed member were remapped; consistent hashing must move only the departed member's keys", moved, keys)
+	}
+}
+
+// TestHashPolicyCapabilityFilter: members that do not advertise the
+// function are excluded; an empty Functions list serves everything.
+func TestHashPolicyCapabilityFilter(t *testing.T) {
+	members := routableSet("a", "b")
+	members[0].Functions = []string{"other"}
+	var p HashPolicy
+	order := p.Order("fn", []byte("x"), members)
+	if len(order) != 1 || order[0] != "addr-b" {
+		t.Fatalf("capability filter order = %v, want [addr-b]", order)
+	}
+}
+
+// TestLeastLoadedOrder: members sort by (queue+inflight)/slots, ties by
+// name.
+func TestLeastLoadedOrder(t *testing.T) {
+	members := routableSet("a", "b", "c")
+	members[0].QueueDepth, members[0].InFlight = 4, 4 // 2.0
+	members[1].QueueDepth, members[1].InFlight = 0, 2 // 0.5
+	members[2].QueueDepth, members[2].InFlight = 0, 0 // 0.0
+	var p LeastLoadedPolicy
+	order := p.Order("fn", nil, members)
+	want := []string{"addr-c", "addr-b", "addr-a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("least-loaded order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPolicyByName covers the flag-value mapping.
+func TestPolicyByName(t *testing.T) {
+	if p, ok := PolicyByName(""); !ok {
+		t.Fatal("default policy missing")
+	} else if _, isHash := p.(HashPolicy); !isHash {
+		t.Fatalf("default policy = %T, want HashPolicy", p)
+	}
+	if _, ok := PolicyByName("least-loaded"); !ok {
+		t.Fatal("least-loaded policy missing")
+	}
+	if _, ok := PolicyByName("bogus"); ok {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -1,0 +1,243 @@
+package federation
+
+// Membership state-machine tests under an injected clock: the
+// suspect/expiry ladder, the late heartbeat after expiry, duplicate
+// registration superseding the old incarnation, and drain semantics —
+// the churn edges the live federation must survive.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"continuum/internal/wire"
+)
+
+// fakeClock is an injectable, manually-advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testRegistry(clk *fakeClock) *Registry {
+	return NewRegistry(Config{
+		HeartbeatInterval: time.Second,
+		SuspectAfter:      2,
+		ExpireAfter:       4,
+		Now:               clk.now,
+	})
+}
+
+func memberInfo(name, addr string) wire.MemberInfo {
+	return wire.MemberInfo{Name: name, Addr: addr, Capacity: 4}
+}
+
+func stateOf(t *testing.T, r *Registry, name string) string {
+	t.Helper()
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.State
+		}
+	}
+	return "(gone)"
+}
+
+// TestSuspectExpiryLadder: fresh → suspect after SuspectAfter missed
+// intervals → expired (removed) after ExpireAfter, with a heartbeat
+// resetting the ladder at any pre-expiry rung.
+func TestSuspectExpiryLadder(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk)
+	gen, err := r.Register(memberInfo("a", "addr-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateOf(t, r, "a"); got != StateAlive {
+		t.Fatalf("state after register = %s, want alive", got)
+	}
+	if len(r.Routable()) != 1 {
+		t.Fatal("fresh member not routable")
+	}
+
+	// 2 intervals silent: suspect — listed, but no new work.
+	clk.advance(2*time.Second + time.Millisecond)
+	if got := stateOf(t, r, "a"); got != StateSuspect {
+		t.Fatalf("state after 2 silent intervals = %s, want suspect", got)
+	}
+	if len(r.Routable()) != 0 {
+		t.Fatal("suspect member still routable")
+	}
+	if len(r.MemberAddrs()) != 1 {
+		t.Fatal("suspect member dropped from the connection set; in-flight work would be severed early")
+	}
+
+	// A heartbeat brings it back.
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen}); err != nil {
+		t.Fatalf("heartbeat from suspect member: %v", err)
+	}
+	if got := stateOf(t, r, "a"); got != StateAlive {
+		t.Fatalf("state after recovery heartbeat = %s, want alive", got)
+	}
+
+	// 4+ intervals silent: expired, fully gone.
+	clk.advance(4*time.Second + time.Millisecond)
+	if got := stateOf(t, r, "a"); got != "(gone)" {
+		t.Fatalf("state after expiry horizon = %s, want removed", got)
+	}
+	if len(r.MemberAddrs()) != 0 {
+		t.Fatal("expired member still in the connection set")
+	}
+}
+
+// TestLateHeartbeatAfterExpiry: a heartbeat arriving after the member
+// expired must be rejected with ErrUnknownMember — the cure is
+// re-registration, which hands out a fresh generation.
+func TestLateHeartbeatAfterExpiry(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk)
+	gen, err := r.Register(memberInfo("a", "addr-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(5 * time.Second)
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen}); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("late heartbeat after expiry = %v, want ErrUnknownMember", err)
+	}
+	// Re-registration rejoins with a NEW generation; the old one stays dead.
+	gen2, err := r.Register(memberInfo("a", "addr-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 == gen {
+		t.Fatalf("re-registration reused generation %d", gen)
+	}
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen}); !errors.Is(err, ErrUnknownMember) {
+		t.Fatal("heartbeat with the expired generation accepted after re-registration")
+	}
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen2}); err != nil {
+		t.Fatalf("heartbeat with the fresh generation: %v", err)
+	}
+}
+
+// TestDuplicateRegistrationSupersedes: registering an already-present
+// name wins — the previous incarnation's generation is retired, so its
+// lingering heartbeats (a restarted daemon's earlier life, a
+// misconfigured clone) cannot corrupt the new registration's state.
+func TestDuplicateRegistrationSupersedes(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk)
+	gen1, err := r.Register(memberInfo("a", "addr-old"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := r.Register(memberInfo("a", "addr-new"))
+	if err != nil {
+		t.Fatalf("duplicate registration must supersede, not fail: %v", err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("superseding generation %d not newer than %d", gen2, gen1)
+	}
+	if n := r.Len(); n != 1 {
+		t.Fatalf("members after duplicate registration = %d, want 1", n)
+	}
+	if addrs := r.MemberAddrs(); len(addrs) != 1 || addrs[0] != "addr-new" {
+		t.Fatalf("addresses after supersede = %v, want [addr-new]", addrs)
+	}
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen1}); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("old incarnation's heartbeat = %v, want ErrUnknownMember", err)
+	}
+	// And the old incarnation cannot evict its successor on shutdown.
+	if err := r.Deregister("a", gen1, false); !errors.Is(err, ErrUnknownMember) {
+		t.Fatalf("old incarnation's deregister = %v, want ErrUnknownMember", err)
+	}
+	if n := r.Len(); n != 1 {
+		t.Fatal("stale deregister evicted the superseding registration")
+	}
+}
+
+// TestDrainSemantics: a draining member leaves the routable set
+// immediately, stays listed (state "draining") and connected, keeps its
+// liveness refreshed by the drain itself, and disappears on the final
+// deregister.
+func TestDrainSemantics(t *testing.T) {
+	clk := newFakeClock()
+	r := testRegistry(clk)
+	gen, err := r.Register(memberInfo("a", "addr-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister("a", gen, true); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := stateOf(t, r, "a"); got != StateDraining {
+		t.Fatalf("state after drain = %s, want draining", got)
+	}
+	if len(r.Routable()) != 0 {
+		t.Fatal("draining member still routable")
+	}
+	if len(r.MemberAddrs()) != 1 {
+		t.Fatal("draining member dropped from the connection set; its in-flight work would be severed")
+	}
+	// Final leave removes it.
+	if err := r.Deregister("a", gen, false); err != nil {
+		t.Fatalf("final deregister: %v", err)
+	}
+	if n := r.Len(); n != 0 {
+		t.Fatalf("members after final deregister = %d, want 0", n)
+	}
+}
+
+// TestOnChangeFires: every membership mutation must fire the hook —
+// it is how the router keeps its routing set in sync.
+func TestOnChangeFires(t *testing.T) {
+	clk := newFakeClock()
+	var calls int
+	r := NewRegistry(Config{
+		HeartbeatInterval: time.Second,
+		Now:               clk.now,
+		OnChange:          func() { calls++ },
+	})
+	gen, _ := r.Register(memberInfo("a", "addr-a"))
+	if calls == 0 {
+		t.Fatal("register did not fire OnChange")
+	}
+	before := calls
+	// A plain load-refresh heartbeat is NOT a membership change.
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen, InFlight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Fatal("load-only heartbeat fired OnChange")
+	}
+	// A cordon flip is: the member left the routable set.
+	if err := r.Heartbeat(wire.MemberInfo{Name: "a", Generation: gen, Cordoned: true}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == before {
+		t.Fatal("cordon flip did not fire OnChange")
+	}
+	before = calls
+	// Expiry via Sweep fires too.
+	clk.advance(time.Hour)
+	r.Sweep()
+	if calls == before {
+		t.Fatal("expiry sweep did not fire OnChange")
+	}
+}

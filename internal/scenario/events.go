@@ -38,6 +38,14 @@ import (
 //	drain         cordon plus the node's own request generator goes
 //	              quiet — the maintenance shape: stop taking work, stop
 //	              making work, let the pipeline empty; "for" undoes both
+//	leave         target node(s) leave the federation gracefully: stop
+//	              taking new work, stop generating, and (on a
+//	              router-fronted live fleet) announce a drain-deregister
+//	              to the router; "for" seconds later they rejoin (omit
+//	              "for" to leave them gone)
+//	join          target node(s) (re)join: accept and generate work
+//	              again, re-registering with the router when one fronts
+//	              the live fleet
 //
 // Node targets are an exact node name, a glob ("gw*"), or a tier
 // selector ("class:gateway").
@@ -64,6 +72,8 @@ const (
 	opWorkload
 	opCordon // drain=true also silences the node's generator
 	opUncordon
+	opLeave // graceful federation departure (sim: fail + quiet generator)
+	opJoin  // rejoin (sim: repair; live+router: re-register)
 )
 
 // op is one compiled primitive. Events expand — cascades into staggered
@@ -101,7 +111,7 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 			return nil, evFail(i, "for %v must be >= 0", ev.For)
 		}
 		switch ev.Kind {
-		case "fail", "recover", "cascade", "chaos", "chaos-off", "cordon", "uncordon", "drain":
+		case "fail", "recover", "cascade", "chaos", "chaos-off", "cordon", "uncordon", "drain", "leave", "join":
 			nodes, err := s.matchNodes(ev.Target)
 			if err != nil {
 				return nil, evFail(i, "%v", err)
@@ -175,6 +185,20 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 				for _, n := range nodes {
 					ops = append(ops, op{at: ev.At, kind: opUncordon, node: n})
 				}
+			case "leave":
+				if len(nodes) == len(s.Nodes) {
+					return nil, evFail(i, "leave %q would empty the fleet: at least one node must stay", ev.Target)
+				}
+				for _, n := range nodes {
+					ops = append(ops, op{at: ev.At, kind: opLeave, node: n})
+					if ev.For > 0 {
+						ops = append(ops, op{at: ev.At + ev.For, kind: opJoin, node: n})
+					}
+				}
+			case "join":
+				for _, n := range nodes {
+					ops = append(ops, op{at: ev.At, kind: opJoin, node: n})
+				}
 			}
 		case "degrade-link", "restore-link":
 			a, b, err := s.matchLink(ev.Target)
@@ -198,7 +222,7 @@ func (s *Scenario) compile(rng *workload.RNG) ([]op, error) {
 			}
 			ops = append(ops, op{at: ev.At, kind: opWorkload, factor: ev.Factor})
 		default:
-			return nil, evFail(i, "unknown kind %q (want fail|recover|cascade|chaos|chaos-off|cordon|uncordon|drain|degrade-link|restore-link|workload)", ev.Kind)
+			return nil, evFail(i, "unknown kind %q (want fail|recover|cascade|chaos|chaos-off|cordon|uncordon|drain|leave|join|degrade-link|restore-link|workload)", ev.Kind)
 		}
 	}
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].at < ops[j].at })

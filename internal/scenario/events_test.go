@@ -123,6 +123,35 @@ func TestCompileLinkAndWorkloadOps(t *testing.T) {
 
 // TestEventValidationErrors covers every event error path with its
 // positional message.
+// TestCompileLeaveJoin: leave expands to opLeave (+opJoin with "for"),
+// join to opJoin, and leaving every node is rejected — the federation
+// analogue of the cordon-everything guard.
+func TestCompileLeaveJoin(t *testing.T) {
+	s := eventScenario()
+	s.Events = []EventJSON{
+		{At: 2, Kind: "leave", Target: "gw1", For: 3},
+		{At: 7, Kind: "join", Target: "gw1"},
+	}
+	ops := compileOk(t, s)
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want leave+join+join", len(ops))
+	}
+	if ops[0].kind != opLeave || ops[0].at != 2 || ops[0].node != "gw1" {
+		t.Fatalf("leave op: %+v", ops[0])
+	}
+	if ops[1].kind != opJoin || ops[1].at != 5 {
+		t.Fatalf("auto-rejoin op: %+v", ops[1])
+	}
+	if ops[2].kind != opJoin || ops[2].at != 7 {
+		t.Fatalf("explicit join op: %+v", ops[2])
+	}
+
+	s.Events = []EventJSON{{At: 1, Kind: "leave", Target: "*"}}
+	if _, err := s.compile(workload.NewRNG(1)); err == nil || !strings.Contains(err.Error(), "empty the fleet") {
+		t.Fatalf("leave-everything: %v", err)
+	}
+}
+
 func TestEventValidationErrors(t *testing.T) {
 	cases := []struct {
 		name string

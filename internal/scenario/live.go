@@ -10,6 +10,7 @@ import (
 
 	"continuum/internal/faas"
 	"continuum/internal/fault"
+	"continuum/internal/federation"
 	"continuum/internal/metrics"
 	"continuum/internal/retry"
 	"continuum/internal/trace"
@@ -53,6 +54,19 @@ type LiveOptions struct {
 	// The ring overwrites under sustained load — size it to the scenario
 	// or pull promptly. Nil (the default) keeps the run span-free.
 	Spans *trace.SpanStore
+	// Router fronts the fleet with an in-process continuum-router: every
+	// node registers through a federation.Agent and the scenario's
+	// requests flow client → router → fleet, so scripted churn (leave /
+	// join events, failures) exercises the registry's suspect/expiry
+	// machinery instead of a static address list.
+	Router bool
+	// Policy names the router's routing policy when Router is set
+	// ("hash" or "least-loaded"; default hash). Ignored otherwise.
+	Policy string
+	// Heartbeat is the federation heartbeat interval when Router is set
+	// (default 100ms — scaled scenarios replay in wall-clock time, so the
+	// cadence must be fast enough for churn to be noticed mid-run).
+	Heartbeat time.Duration
 }
 
 func (o LiveOptions) timeScale() float64 {
@@ -83,6 +97,13 @@ func (o LiveOptions) maxNodes() int {
 	return o.MaxNodes
 }
 
+func (o LiveOptions) heartbeat() time.Duration {
+	if o.Heartbeat <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.Heartbeat
+}
+
 // liveNode is one in-process continuumd: endpoint, server, listener
 // address, and whether the node is currently scripted as failed (a
 // failed origin generates no traffic, matching the sim's DropSubmit) or
@@ -94,6 +115,13 @@ type liveNode struct {
 	srv     *wire.Server
 	paused  atomic.Bool
 	drained atomic.Bool
+
+	// Router mode: the node's registration agent, plus the factory a
+	// scripted join uses to re-register after a leave (agents are
+	// one-shot — Leave closes them). Both are touched only by RunLive's
+	// setup and the single replay goroutine, never concurrently.
+	agent    *federation.Agent
+	newAgent func() *federation.Agent
 }
 
 // startLiveNode boots one node of the fleet on a loopback listener.
@@ -143,10 +171,21 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 
 	fleet := make(map[string]*liveNode, len(s.Nodes))
 	var addrs []string
+	var rt *federation.Router
+	var rtSrv *wire.Server
 	shutdown := func() {
 		for _, ln := range fleet {
+			if ln.agent != nil {
+				ln.agent.Leave(false)
+			}
 			ln.srv.Close()
 			ln.ep.Close()
+		}
+		if rtSrv != nil {
+			rtSrv.Close()
+		}
+		if rt != nil {
+			rt.Close()
 		}
 	}
 	for _, nj := range s.Nodes {
@@ -159,6 +198,62 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 		addrs = append(addrs, ln.addr)
 	}
 	defer shutdown()
+
+	// Router mode: boot an in-process continuum-router, register every
+	// node through a federation agent, and point the scenario's client at
+	// the router alone — requests flow client → router → fleet, so the
+	// script's churn exercises live membership instead of a fixed list.
+	if opts.Router {
+		policy, ok := federation.PolicyByName(opts.Policy)
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: unknown router policy %q (want hash or least-loaded)", s.Name, opts.Policy)
+		}
+		rt, err = federation.NewRouter(federation.RouterConfig{
+			Registry: federation.Config{HeartbeatInterval: opts.heartbeat()},
+			Policy:   policy,
+			Client: wire.ReliableConfig{
+				Retry:       retry.Policy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+				Breaker:     retry.BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond},
+				CallTimeout: 2 * time.Second,
+			},
+			Spans: opts.Spans,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: router: %w", s.Name, err)
+		}
+		rtSrv = &wire.Server{Invoker: rt, Ops: rt, Name: "router", Spans: opts.Spans}
+		rlis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: router listener: %w", s.Name, err)
+		}
+		go rtSrv.Serve(rlis)
+		routerAddr := rlis.Addr().String()
+		for _, ln := range fleet {
+			ln := ln
+			ln.newAgent = func() *federation.Agent {
+				return federation.NewAgent(federation.AgentConfig{
+					RouterAddr: routerAddr,
+					Name:       ln.name,
+					Advertise:  ln.addr,
+					Endpoint:   ln.ep,
+				})
+			}
+			ln.agent = ln.newAgent()
+			ln.agent.Start()
+		}
+		// Wait for the full fleet to register before load starts: the
+		// scenario's arrival schedule begins at t=0, and a half-joined
+		// fleet would skew the experiment (not its correctness — routing
+		// an empty set is a retryable error).
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Registry().Len() < len(fleet) {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("scenario %q: only %d/%d nodes registered with the router", s.Name, rt.Registry().Len(), len(fleet))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		addrs = []string{routerAddr}
+	}
 
 	m := metrics.NewRegistry()
 	rc, err := wire.NewReliableClient(wire.ReliableConfig{
@@ -254,10 +349,14 @@ func (s *Scenario) RunLive(opts LiveOptions) (*Report, error) {
 	for name, ln := range fleet {
 		perNode[name] = ln.ep.Invocations()
 	}
+	kind := "live/"
+	if opts.Router {
+		kind = "live+router/"
+	}
 	return &Report{
 		Scenario:   s.Name,
 		Backend:    "live",
-		Workload:   "live/" + fn,
+		Workload:   kind + fn,
 		Completed:  completed.Load(),
 		Lost:       lost.Load(),
 		Retries:    int64(m.Counter("wire_client_retries_total").Value()),
@@ -312,6 +411,30 @@ func (s *Scenario) replayOps(fleet map[string]*liveNode, ops []op, scale float64
 			ln := fleet[o.node]
 			ln.ep.SetCordon(false)
 			ln.drained.Store(false)
+		case opLeave:
+			// Graceful federation departure: quiet the generator, cordon
+			// (in-flight work finishes, new work is rejected retryably),
+			// and — router-fronted — announce a drain-deregister so the
+			// router stops preferring this node before its breaker ever
+			// has to learn the hard way.
+			ln := fleet[o.node]
+			ln.drained.Store(true)
+			ln.ep.SetCordon(true)
+			if ln.agent != nil {
+				ln.agent.Leave(true)
+				ln.agent = nil
+			}
+		case opJoin:
+			ln := fleet[o.node]
+			ln.ep.SetCordon(false)
+			ln.drained.Store(false)
+			ln.paused.Store(false)
+			if ln.agent == nil && ln.newAgent != nil {
+				// Re-register with a fresh agent (and a fresh generation —
+				// the router retired the old one at the leave).
+				ln.agent = ln.newAgent()
+				ln.agent.Start()
+			}
 		case opLink:
 			// Approximation: a degraded link becomes injected delay at both
 			// endpoint servers — the wire has no simulated topology to slow

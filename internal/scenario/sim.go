@@ -213,6 +213,23 @@ func (s *Scenario) installEvents(c *core.Continuum, byName map[string]*node.Node
 				cordoned[id] = false
 				drained[id] = false
 			})
+		case opLeave:
+			// The sim has no registry to deregister from: a graceful leave
+			// is the node's fault target failing (attempts divert elsewhere)
+			// with its own generator silenced.
+			t, id := target(o.node), byName[o.node].ID
+			c.K.At(o.at, func() {
+				c.Tracer.Record(o.at, trace.Failure, o.node, "scripted leave")
+				t.Fail()
+				drained[id] = true
+			})
+		case opJoin:
+			t, id := target(o.node), byName[o.node].ID
+			c.K.At(o.at, func() {
+				c.Tracer.Record(o.at, trace.Repair, o.node, "scripted join")
+				t.Repair()
+				drained[id] = false
+			})
 		case opWorkload:
 			// Compiled into the arrival processes' phase schedule instead.
 		}

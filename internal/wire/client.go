@@ -429,3 +429,46 @@ func (c *Client) Trace(traceID string) ([]trace.Span, error) {
 	}
 	return resp.Spans, nil
 }
+
+// Register joins a federation: it announces info to the router this
+// client is connected to and returns the generation the router assigned
+// (echo it on every heartbeat and deregister) and the heartbeat
+// interval the router expects.
+func (c *Client) Register(info MemberInfo) (generation int64, heartbeat time.Duration, err error) {
+	resp, err := c.roundTrip(&Request{Op: OpRegister, Member: &info})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Generation, time.Duration(resp.HeartbeatMS) * time.Millisecond, nil
+}
+
+// Heartbeat refreshes a registration with a live load snapshot. A
+// router that no longer recognizes the member (expired, or superseded
+// by a newer registration) answers with an error; the caller should
+// Register again.
+func (c *Client) Heartbeat(info MemberInfo) error {
+	_, err := c.roundTrip(&Request{Op: OpHeartbeat, Member: &info})
+	return err
+}
+
+// Deregister leaves a federation. drain true requests a graceful drain
+// (the member stays listed, receives no new routes, and finishes its
+// in-flight work); false leaves immediately. generation must echo the
+// value Register returned.
+func (c *Client) Deregister(name string, generation int64, drain bool) error {
+	_, err := c.roundTrip(&Request{Op: OpDeregister, Member: &MemberInfo{
+		Name: name, Generation: generation, Draining: drain,
+	}})
+	return err
+}
+
+// Endpoints lists the router's membership view — one MemberStatus per
+// registered daemon with its last advertised load and the router's
+// liveness verdict. Fails against a server that is not a router.
+func (c *Client) Endpoints() ([]MemberStatus, error) {
+	resp, err := c.roundTrip(&Request{Op: OpEndpoints})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
+}

@@ -15,18 +15,20 @@ package wire
 //	[0]      0xC5 magic
 //	[1]      kind: 0x01 request, 0x02 response
 //	Request  str Op, str ID, str Accept, str Fn, blob Payload, batch,
-//	         then — only when the request is traced or carries a
-//	         non-normal priority — str TraceID, str SpanID, then — only
-//	         when the priority is non-normal — varint Priority. The
-//	         trailer is backward compatible both ways: decoders
-//	         predating it discard trailing request bytes, and new
-//	         decoders treat an exhausted buffer as untraced / normal
-//	         priority.
+//	         then — only when the request is traced, carries a
+//	         non-normal priority, or carries a federation member body —
+//	         str TraceID, str SpanID, then — only when the priority is
+//	         non-normal or a member body follows — varint Priority,
+//	         then — only for federation control frames — a uvarint
+//	         length and a JSON-encoded MemberInfo. The trailer is
+//	         backward compatible both ways: decoders predating it
+//	         discard trailing request bytes, and new decoders treat an
+//	         exhausted buffer as untraced / normal priority / no member.
 //	Response [2] flags (bit0 OK, bit1 Retryable, bit2 extension),
 //	         str ID, str Codec, str Error, blob Payload, batch,
 //	         then — only when the extension bit is set — a uvarint
 //	         length and a JSON object carrying the rare
-//	         list/stats/top/spans/retry-after fields.
+//	         list/stats/top/spans/retry-after/federation fields.
 //
 // where str is uvarint length + bytes, blob is the same but with
 // uvarint 0 meaning nil and length+1 otherwise (nil and empty payloads
@@ -235,6 +237,9 @@ type respExt struct {
 	Top          []FnMetrics     `json:"top,omitempty"`
 	Spans        []trace.Span    `json:"spans,omitempty"`
 	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+	Members      []MemberStatus  `json:"members,omitempty"`
+	HeartbeatMS  int64           `json:"heartbeat_ms,omitempty"`
+	Generation   int64           `json:"generation,omitempty"`
 }
 
 // appendBinary encodes v (a *Request or *Response) onto buf in the
@@ -249,18 +254,29 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 		buf = appendStr(buf, t.Fn)
 		buf = appendBlob(buf, t.Payload)
 		buf = appendBatch(buf, t.Batch)
-		// Trace/priority trailer: appended only for traced or
-		// non-normal-priority requests, so default frames are
-		// byte-identical to the pre-trailer encoding and legacy decoders
-		// (which discard trailing bytes) interoperate unchanged. Priority
-		// rides after the trace strings — also elided when normal, so a
-		// traced normal-priority frame matches the pre-priority encoding
-		// byte for byte.
-		if t.TraceID != "" || t.SpanID != "" || t.Priority != 0 {
+		// Trace/priority/member trailer: appended only for traced,
+		// non-normal-priority, or federation-control requests, so default
+		// frames are byte-identical to the pre-trailer encoding and legacy
+		// decoders (which discard trailing bytes) interoperate unchanged.
+		// Priority rides after the trace strings — elided when normal
+		// unless a member body follows (the member blob needs every
+		// preceding trailer field present so the decoder's position is
+		// unambiguous) — and the member body last, as a uvarint-length
+		// JSON blob: control frames are rare and tiny, so reflection
+		// there costs nothing the invoke hot path ever sees.
+		if t.TraceID != "" || t.SpanID != "" || t.Priority != 0 || t.Member != nil {
 			buf = appendStr(buf, t.TraceID)
 			buf = appendStr(buf, t.SpanID)
-			if t.Priority != 0 {
+			if t.Priority != 0 || t.Member != nil {
 				buf = binary.AppendVarint(buf, int64(t.Priority))
+			}
+			if t.Member != nil {
+				mb, err := json.Marshal(t.Member)
+				if err != nil {
+					return buf, fmt.Errorf("wire: marshal member: %w", err)
+				}
+				buf = binary.AppendUvarint(buf, uint64(len(mb)))
+				buf = append(buf, mb...)
 			}
 		}
 		return buf, nil
@@ -273,9 +289,10 @@ func appendBinary(buf []byte, v any) ([]byte, error) {
 			flags |= binFlagRetryable
 		}
 		var ext []byte
-		if t.Names != nil || t.Stats != nil || t.Top != nil || t.Spans != nil || t.RetryAfterMS != 0 {
+		if t.Names != nil || t.Stats != nil || t.Top != nil || t.Spans != nil ||
+			t.RetryAfterMS != 0 || t.Members != nil || t.HeartbeatMS != 0 || t.Generation != 0 {
 			var err error
-			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top, t.Spans, t.RetryAfterMS}); err != nil {
+			if ext, err = json.Marshal(respExt{t.Names, t.Stats, t.Top, t.Spans, t.RetryAfterMS, t.Members, t.HeartbeatMS, t.Generation}); err != nil {
 				return buf, fmt.Errorf("wire: marshal extension: %w", err)
 			}
 			flags |= binFlagExt
@@ -428,9 +445,11 @@ func decodeBinary(body []byte, v any) error {
 		if t.Batch, b, err = takeBatch(b); err != nil {
 			return err
 		}
-		// Trace/priority trailer, absent on untraced normal-priority and
-		// pre-trailer frames.
-		t.TraceID, t.SpanID, t.Priority = "", "", 0
+		// Trace/priority/member trailer, absent on untraced
+		// normal-priority non-control and pre-trailer frames. Each stage
+		// treats an exhausted buffer as "the rest are defaults", so every
+		// historical frame layout decodes correctly.
+		t.TraceID, t.SpanID, t.Priority, t.Member = "", "", 0, nil
 		if len(b) > 0 {
 			if t.TraceID, b, err = takeStr(b); err != nil {
 				return err
@@ -444,6 +463,21 @@ func decodeBinary(body []byte, v any) error {
 					return fmt.Errorf("wire: binary frame: bad priority")
 				}
 				t.Priority = int(p)
+				b = b[k:]
+			}
+			if len(b) > 0 {
+				n, k := binary.Uvarint(b)
+				if k <= 0 {
+					return fmt.Errorf("wire: binary frame: bad member length")
+				}
+				b = b[k:]
+				if uint64(len(b)) < n {
+					return io.ErrUnexpectedEOF
+				}
+				t.Member = new(MemberInfo)
+				if err := json.Unmarshal(b[:n], t.Member); err != nil {
+					return fmt.Errorf("wire: unmarshal member: %w", err)
+				}
 			}
 		}
 		return nil
@@ -476,6 +510,7 @@ func decodeBinary(body []byte, v any) error {
 			return err
 		}
 		t.Names, t.Stats, t.Top, t.Spans, t.RetryAfterMS = nil, nil, nil, nil, 0
+		t.Members, t.HeartbeatMS, t.Generation = nil, 0, 0
 		if flags&binFlagExt != 0 {
 			n, k := binary.Uvarint(b)
 			if k <= 0 {
@@ -491,6 +526,7 @@ func decodeBinary(body []byte, v any) error {
 			}
 			t.Names, t.Stats, t.Top, t.Spans = ext.Names, ext.Stats, ext.Top, ext.Spans
 			t.RetryAfterMS = ext.RetryAfterMS
+			t.Members, t.HeartbeatMS, t.Generation = ext.Members, ext.HeartbeatMS, ext.Generation
 		}
 		return nil
 	default:
@@ -516,6 +552,14 @@ func internOp(s []byte) Op {
 		return OpTop
 	case string(OpTrace):
 		return OpTrace
+	case string(OpRegister):
+		return OpRegister
+	case string(OpHeartbeat):
+		return OpHeartbeat
+	case string(OpDeregister):
+		return OpDeregister
+	case string(OpEndpoints):
+		return OpEndpoints
 	}
 	return Op(s)
 }

@@ -24,6 +24,12 @@ func fullRequest() *Request {
 		// Negative on purpose: the binary codec carries priority as a
 		// signed varint.
 		Priority: -1,
+		Member: &MemberInfo{
+			Name: "ep0", Addr: "127.0.0.1:9000", Capacity: 8,
+			Functions: []string{"echo"}, Generation: 3,
+			QueueDepth: 2, InFlight: 1, SlotLimit: 4,
+			Cordoned: true, Draining: true,
+		},
 	}
 }
 
@@ -52,6 +58,17 @@ func fullResponse() *Response {
 			Start: 100, End: 200, Err: "boom",
 			Attrs: map[string]string{"container": "cold"},
 		}},
+		Members: []MemberStatus{{
+			MemberInfo: MemberInfo{
+				Name: "ep0", Addr: "127.0.0.1:9000", Capacity: 8,
+				Functions: []string{"echo"}, Generation: 3,
+				QueueDepth: 2, InFlight: 1, SlotLimit: 4,
+				Cordoned: true, Draining: true,
+			},
+			State: "alive", AgeMS: 12,
+		}},
+		HeartbeatMS: 2000,
+		Generation:  3,
 	}
 }
 
@@ -212,36 +229,44 @@ func TestBinaryFrameTooLarge(t *testing.T) {
 }
 
 // TestBinaryDecodeTruncated: a truncated binary body errors instead of
-// panicking or fabricating fields — with TWO deliberate exceptions: a cut
-// landing exactly on the end of the pre-trailer schema is
-// indistinguishable from a frame a legacy encoder wrote (decodes as the
-// same request, untraced and normal priority), and a cut on the end of
-// the trace strings is indistinguishable from a pre-priority traced
-// frame (decodes traced, normal priority). Those ambiguities are what
-// make the trailer backward compatible across both protocol additions.
+// panicking or fabricating fields — with THREE deliberate exceptions,
+// one per historical frame layout: a cut landing exactly on the end of
+// the pre-trailer schema is indistinguishable from a frame a legacy
+// encoder wrote (decodes as the same request, untraced and normal
+// priority), a cut on the end of the trace strings is indistinguishable
+// from a pre-priority traced frame (decodes traced, normal priority),
+// and a cut on the end of the priority varint is indistinguishable from
+// a pre-federation frame (decodes with no member). Those ambiguities
+// are what make the trailer backward compatible across all three
+// protocol additions.
 func TestBinaryDecodeTruncated(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrameCodec(&buf, fullRequest(), CodecBinary); err != nil {
 		t.Fatal(err)
 	}
 	whole := buf.Bytes()
+	frameLen := func(req *Request) int {
+		var b bytes.Buffer
+		if err := WriteFrameCodec(&b, req, CodecBinary); err != nil {
+			t.Fatal(err)
+		}
+		return b.Len()
+	}
 	// The legacy frame boundary: everything up to (not including) the
-	// trace/priority trailer.
+	// trace/priority/member trailer.
 	legacy := fullRequest()
-	legacy.TraceID, legacy.SpanID, legacy.Priority = "", "", 0
-	var legacyBuf bytes.Buffer
-	if err := WriteFrameCodec(&legacyBuf, legacy, CodecBinary); err != nil {
-		t.Fatal(err)
-	}
-	legacyBoundary := legacyBuf.Len()
-	// The pre-priority boundary: trace strings present, priority absent.
+	legacy.TraceID, legacy.SpanID, legacy.Priority, legacy.Member = "", "", 0, nil
+	legacyBoundary := frameLen(legacy)
+	// The pre-priority boundary: trace strings present, priority and
+	// member absent.
 	traced := fullRequest()
-	traced.Priority = 0
-	var tracedBuf bytes.Buffer
-	if err := WriteFrameCodec(&tracedBuf, traced, CodecBinary); err != nil {
-		t.Fatal(err)
-	}
-	tracedBoundary := tracedBuf.Len()
+	traced.Priority, traced.Member = 0, nil
+	tracedBoundary := frameLen(traced)
+	// The pre-federation boundary: trace strings and priority present,
+	// member absent.
+	preMember := fullRequest()
+	preMember.Member = nil
+	preMemberBoundary := frameLen(preMember)
 
 	for cut := 5; cut < len(whole); cut++ {
 		// Rewrite the length prefix to match the truncated body, so the
@@ -265,10 +290,17 @@ func TestBinaryDecodeTruncated(t *testing.T) {
 			if !reflect.DeepEqual(out, traced) {
 				t.Fatalf("pre-priority-boundary decode:\nin:  %+v\nout: %+v", traced, out)
 			}
+		case preMemberBoundary:
+			if err != nil {
+				t.Fatalf("cut at the pre-federation boundary (%d) must decode as a member-less frame, got %v", cut, err)
+			}
+			if !reflect.DeepEqual(out, preMember) {
+				t.Fatalf("pre-federation-boundary decode:\nin:  %+v\nout: %+v", preMember, out)
+			}
 		default:
 			if err == nil {
-				t.Fatalf("truncated binary frame (cut at %d/%d, boundaries %d/%d) accepted",
-					cut, len(whole), legacyBoundary, tracedBoundary)
+				t.Fatalf("truncated binary frame (cut at %d/%d, boundaries %d/%d/%d) accepted",
+					cut, len(whole), legacyBoundary, tracedBoundary, preMemberBoundary)
 			}
 		}
 	}

@@ -1,0 +1,147 @@
+package wire
+
+// Dynamic-membership tests for ReliableClient: the endpoint set a
+// continuum-router swaps under live traffic as daemons join, drain, and
+// expire. SetEndpoints must preserve surviving endpoints' state, fail
+// over traffic off removed ones, and InvokeRouted must honor a routing
+// policy's preference order while degrading to plain failover when the
+// preference goes stale.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"continuum/internal/faas"
+	"continuum/internal/retry"
+)
+
+// whoServer answers "who" with its own name, so tests can assert which
+// endpoint served a call.
+func whoServer(t *testing.T, name string) string {
+	t.Helper()
+	reg := faas.NewRegistry()
+	reg.Register("who", func([]byte) ([]byte, error) { return []byte(name), nil })
+	ep := faas.NewEndpoint(faas.EndpointConfig{Name: name, Capacity: 8}, reg)
+	srv := &Server{Invoker: ep, Registry: reg, Endpoints: []*faas.Endpoint{ep}}
+	return startServerOn(t, srv)
+}
+
+func fastPolicy(attempts int) retry.Policy {
+	return retry.Policy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// TestDynamicEmptySetFailsRetryable: a Dynamic client with no members
+// yet fails with ErrNoEndpoints — classified retryable, so a routed
+// call rides the backoff loop instead of failing outright, and succeeds
+// as soon as membership arrives.
+func TestDynamicEmptySetFailsRetryable(t *testing.T) {
+	r, err := NewReliableClient(ReliableConfig{Dynamic: true, Retry: fastPolicy(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Invoke("who", nil); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("invoke on empty set = %v, want ErrNoEndpoints", err)
+	}
+	if !r.policy().Retryable(ErrNoEndpoints) {
+		t.Fatal("ErrNoEndpoints must be retryable: membership can still arrive")
+	}
+
+	// Membership arrives mid-backoff: the same retry loop that was
+	// failing must pick it up and succeed. A generous attempt budget
+	// keeps the loop alive until SetEndpoints lands.
+	r2, err := NewReliableClient(ReliableConfig{Dynamic: true, Retry: fastPolicy(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	addr := whoServer(t, "late")
+	done := make(chan error, 1)
+	go func() {
+		_, err := r2.Invoke("who", nil)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	r2.SetEndpoints([]string{addr})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("invoke after membership arrived: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("invoke did not complete after membership arrived")
+	}
+}
+
+// TestSetEndpointsReconciles: kept endpoints survive a membership swap
+// with their breaker state intact, removed ones drop out of rotation,
+// and new ones serve traffic.
+func TestSetEndpointsReconciles(t *testing.T) {
+	a := whoServer(t, "a")
+	b := whoServer(t, "b")
+	r, err := NewReliableClient(ReliableConfig{Addrs: []string{a}, Retry: fastPolicy(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if out, err := r.Invoke("who", nil); err != nil || string(out) != "a" {
+		t.Fatalf("initial invoke = %q, %v", out, err)
+	}
+	keptEp := r.snapshot().byAddr[a]
+
+	r.SetEndpoints([]string{a, b})
+	if got := r.snapshot().byAddr[a]; got != keptEp {
+		t.Fatal("SetEndpoints rebuilt a kept endpoint; breaker state and pooled connections must survive")
+	}
+	if addrs := r.EndpointAddrs(); len(addrs) != 2 {
+		t.Fatalf("EndpointAddrs = %v, want 2 entries", addrs)
+	}
+
+	// Remove a: every call must now land on b.
+	r.SetEndpoints([]string{b})
+	for i := 0; i < 4; i++ {
+		out, err := r.Invoke("who", nil)
+		if err != nil || string(out) != "b" {
+			t.Fatalf("invoke %d after removing a = %q, %v", i, out, err)
+		}
+	}
+}
+
+// TestInvokeRoutedPreference: the preference list steers the first
+// attempt; a dead preferred endpoint is retried past, in order; an
+// address absent from the set is skipped without an attempt.
+func TestInvokeRoutedPreference(t *testing.T) {
+	a := whoServer(t, "a")
+	b := whoServer(t, "b")
+	// A dead address: reserve a port, then close the listener.
+	deadSrv := echoServer(t, "dead")
+	dead := startServerOn(t, deadSrv)
+	deadSrv.Close()
+
+	r, err := NewReliableClient(ReliableConfig{Addrs: []string{a, b, dead}, Retry: fastPolicy(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Preference wins over round-robin.
+	for i := 0; i < 3; i++ {
+		out, err := r.InvokeRouted(context.Background(), "who", nil, []string{b})
+		if err != nil || string(out) != "b" {
+			t.Fatalf("routed invoke %d = %q, %v, want b", i, out, err)
+		}
+	}
+	// A dead first preference fails over to the second, in order.
+	out, err := r.InvokeRouted(context.Background(), "who", nil, []string{dead, a})
+	if err != nil || string(out) != "a" {
+		t.Fatalf("routed invoke past dead preference = %q, %v, want a", out, err)
+	}
+	// A preference no longer in the set degrades to plain selection.
+	r.SetEndpoints([]string{a})
+	out, err = r.InvokeRouted(context.Background(), "who", nil, []string{b, dead})
+	if err != nil || string(out) != "a" {
+		t.Fatalf("routed invoke with stale preference = %q, %v, want a", out, err)
+	}
+}

@@ -94,7 +94,7 @@ func TestHedgeLoserDoesNotTripBreaker(t *testing.T) {
 	// nothing was ever recorded as a failure.
 	time.Sleep(100 * time.Millisecond)
 	var trips int64
-	for _, ep := range r.eps {
+	for _, ep := range r.snapshot().list {
 		trips += ep.breaker.Trips()
 	}
 	states := r.BreakerStates()

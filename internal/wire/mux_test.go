@@ -233,7 +233,7 @@ func TestReliableClientPoolRedialsBrokenSlot(t *testing.T) {
 		}
 	}
 	// Sever both pooled connections out from under the client.
-	for _, ep := range rc.eps {
+	for _, ep := range rc.snapshot().list {
 		ep.mu.Lock()
 		for _, c := range ep.conns {
 			if c != nil {

@@ -18,6 +18,13 @@ import (
 // breaker is refusing traffic.
 var ErrAllBreakersOpen = errors.New("wire: all endpoint breakers open")
 
+// ErrNoEndpoints is returned when the client's endpoint set is empty —
+// only possible on a Dynamic client before membership arrives (or after
+// every member left). It is retried with backoff: a router's client
+// set refills as daemons register, so a briefly-empty federation is a
+// transient, not a verdict.
+var ErrNoEndpoints = errors.New("wire: no endpoints")
+
 // DefaultPoolSize is the number of pooled connections kept per endpoint
 // when ReliableConfig.PoolSize is zero. Each connection is itself
 // multiplexed, so a small pool is enough to spread load while keeping
@@ -28,7 +35,14 @@ const DefaultPoolSize = 2
 type ReliableConfig struct {
 	// Addrs lists the federation's endpoint addresses. Attempts rotate
 	// across them, so a retry after a failure naturally fails over.
+	// SetEndpoints replaces the set at runtime.
 	Addrs []string
+	// Dynamic permits an empty initial Addrs: the set is expected to be
+	// populated later with SetEndpoints (a continuum-router builds its
+	// client this way and feeds it the registry's live membership).
+	// Calls made while the set is empty fail with ErrNoEndpoints, which
+	// retries with backoff.
+	Dynamic bool
 	// PoolSize is how many multiplexed connections to keep per endpoint
 	// (0 = DefaultPoolSize). Calls round-robin across the pool; broken
 	// connections are redialed in place.
@@ -173,6 +187,22 @@ func (e *repEndpoint) get(ctx context.Context, callTimeout time.Duration) (*Clie
 	return c, nil
 }
 
+// closeConns closes every pooled connection, leaving empty slots that
+// would redial on demand — called when the endpoint leaves the set, so
+// nothing will. In-flight calls on the closed connections fail with a
+// retryable transport error and fail over.
+func (e *repEndpoint) closeConns() {
+	e.mu.Lock()
+	conns := e.conns
+	e.conns = make([]*Client, len(conns))
+	e.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
 // discard drops a broken connection so its slot redials. Only the
 // exact client that failed is discarded — a concurrent caller may
 // already have replaced it.
@@ -196,7 +226,11 @@ func (e *repEndpoint) discard(c *Client) {
 // definitive application errors return immediately.
 type ReliableClient struct {
 	cfg ReliableConfig
-	eps []*repEndpoint
+
+	// set is the immutable endpoint-set snapshot calls read lock-free;
+	// epMu serializes SetEndpoints writers (the read path never takes it).
+	set  atomic.Pointer[epSet]
+	epMu sync.Mutex
 
 	mu   sync.Mutex
 	next int // round-robin start for the next call
@@ -206,53 +240,119 @@ type ReliableClient struct {
 	budgetDenied      atomic.Int64
 
 	retries, failovers  *metrics.Counter // nil without a registry
+	reuse               *metrics.Counter
 	hedgesC, hedgeWinsC *metrics.Counter
 	budgetDeniedC       *metrics.Counter
+}
+
+// epSet is one immutable snapshot of the endpoint set. Membership
+// changes build a fresh snapshot and swap the pointer, so the call path
+// reads a consistent set without locks while SetEndpoints reconciles.
+type epSet struct {
+	list   []*repEndpoint
+	byAddr map[string]*repEndpoint
 }
 
 // NewReliableClient builds a client over the configured endpoints. No
 // connection is made until the first call.
 func NewReliableClient(cfg ReliableConfig) (*ReliableClient, error) {
-	if len(cfg.Addrs) == 0 {
+	if len(cfg.Addrs) == 0 && !cfg.Dynamic {
 		return nil, errors.New("wire: reliable client needs at least one address")
 	}
-	pool := cfg.PoolSize
-	if pool <= 0 {
-		pool = DefaultPoolSize
-	}
 	r := &ReliableClient{cfg: cfg, lat: metrics.NewHistogram()}
-	var reuse *metrics.Counter
 	if cfg.Metrics != nil {
 		r.retries = cfg.Metrics.Counter("wire_client_retries_total")
 		r.failovers = cfg.Metrics.Counter("wire_client_failovers_total")
-		reuse = cfg.Metrics.Counter("wire_conn_reuse_total")
+		r.reuse = cfg.Metrics.Counter("wire_conn_reuse_total")
 		r.hedgesC = cfg.Metrics.Counter("wire_hedges_total")
 		r.hedgeWinsC = cfg.Metrics.Counter("wire_hedge_wins_total")
 		r.budgetDeniedC = cfg.Metrics.Counter("wire_retry_budget_exhausted_total")
 	}
+	set := &epSet{byAddr: make(map[string]*repEndpoint, len(cfg.Addrs))}
 	for _, addr := range cfg.Addrs {
-		bc := cfg.Breaker
-		if cfg.Metrics != nil {
-			state := cfg.Metrics.Gauge(metrics.Label("wire_breaker_state", "ep", addr))
-			state.Set(float64(retry.Closed))
-			trips := cfg.Metrics.Counter(metrics.Label("wire_breaker_trips_total", "ep", addr))
-			bc.OnStateChange = func(_, to retry.State) {
-				state.Set(float64(to))
-				if to == retry.Open {
-					trips.Inc()
-				}
+		if _, dup := set.byAddr[addr]; dup {
+			continue
+		}
+		ep := r.newEndpoint(addr)
+		set.list = append(set.list, ep)
+		set.byAddr[addr] = ep
+	}
+	r.set.Store(set)
+	return r, nil
+}
+
+// newEndpoint builds one endpoint's client-side state (breaker, metrics
+// hookup, empty connection pool).
+func (r *ReliableClient) newEndpoint(addr string) *repEndpoint {
+	pool := r.cfg.PoolSize
+	if pool <= 0 {
+		pool = DefaultPoolSize
+	}
+	bc := r.cfg.Breaker
+	if r.cfg.Metrics != nil {
+		state := r.cfg.Metrics.Gauge(metrics.Label("wire_breaker_state", "ep", addr))
+		state.Set(float64(retry.Closed))
+		trips := r.cfg.Metrics.Counter(metrics.Label("wire_breaker_trips_total", "ep", addr))
+		bc.OnStateChange = func(_, to retry.State) {
+			state.Set(float64(to))
+			if to == retry.Open {
+				trips.Inc()
 			}
 		}
-		r.eps = append(r.eps, &repEndpoint{
-			addr:    addr,
-			breaker: retry.NewBreaker(bc),
-			reuse:   reuse,
-			spans:   cfg.Spans,
-			service: r.service(),
-			conns:   make([]*Client, pool),
-		})
 	}
-	return r, nil
+	return &repEndpoint{
+		addr:    addr,
+		breaker: retry.NewBreaker(bc),
+		reuse:   r.reuse,
+		spans:   r.cfg.Spans,
+		service: r.service(),
+		conns:   make([]*Client, pool),
+	}
+}
+
+// snapshot returns the current endpoint set.
+func (r *ReliableClient) snapshot() *epSet { return r.set.Load() }
+
+// SetEndpoints replaces the endpoint set, reconciling against the
+// current one: endpoints whose address is kept retain their breaker
+// state, latency history, and pooled connections; new addresses start
+// fresh; removed addresses have their pools closed, which fails any
+// call still in flight on them with a retryable transport error so it
+// fails over to a surviving endpoint. Safe for concurrent use with the
+// call path — calls read an immutable snapshot. Duplicate addresses
+// collapse to one endpoint.
+func (r *ReliableClient) SetEndpoints(addrs []string) {
+	r.epMu.Lock()
+	old := r.snapshot()
+	next := &epSet{byAddr: make(map[string]*repEndpoint, len(addrs))}
+	for _, addr := range addrs {
+		if _, dup := next.byAddr[addr]; dup {
+			continue
+		}
+		ep := old.byAddr[addr]
+		if ep == nil {
+			ep = r.newEndpoint(addr)
+		}
+		next.list = append(next.list, ep)
+		next.byAddr[addr] = ep
+	}
+	r.set.Store(next)
+	r.epMu.Unlock()
+	for addr, ep := range old.byAddr {
+		if next.byAddr[addr] == nil {
+			ep.closeConns()
+		}
+	}
+}
+
+// EndpointAddrs returns the current endpoint addresses, in set order.
+func (r *ReliableClient) EndpointAddrs() []string {
+	set := r.snapshot()
+	out := make([]string, len(set.list))
+	for i, ep := range set.list {
+		out[i] = ep.addr
+	}
+	return out
 }
 
 // service returns the span service label.
@@ -307,7 +407,7 @@ func (r *ReliableClient) policy() retry.Policy {
 	p := r.cfg.Retry
 	if p.Retryable == nil {
 		p.Retryable = func(err error) bool {
-			return errors.Is(err, ErrAllBreakersOpen) || IsRetryable(err)
+			return errors.Is(err, ErrAllBreakersOpen) || errors.Is(err, ErrNoEndpoints) || IsRetryable(err)
 		}
 	}
 	return p
@@ -315,19 +415,53 @@ func (r *ReliableClient) policy() retry.Policy {
 
 // pick selects the next endpoint whose breaker admits traffic, rotating
 // round-robin so consecutive attempts (and concurrent calls) spread
-// across the federation. Returns nil when every breaker refuses.
+// across the federation. Returns nil when the set is empty or every
+// breaker refuses; noEndpointsErr distinguishes the two.
 func (r *ReliableClient) pick() *repEndpoint {
+	eps := r.snapshot().list
+	if len(eps) == 0 {
+		return nil
+	}
 	r.mu.Lock()
 	start := r.next
 	r.next++
 	r.mu.Unlock()
-	for i := 0; i < len(r.eps); i++ {
-		ep := r.eps[(start+i)%len(r.eps)]
+	for i := 0; i < len(eps); i++ {
+		ep := eps[(start+i)%len(eps)]
 		if ep.breaker.Allow() {
 			return ep
 		}
 	}
 	return nil
+}
+
+// pickPreferred walks a preference-ordered address list (a routing
+// policy's output), consuming entries via *idx so consecutive attempts
+// advance down the list instead of re-trying the same first choice.
+// Addresses no longer in the set — membership moved on since the
+// preference was computed — or refused by their breaker are skipped.
+// Returns nil when the list is exhausted; the caller falls back to
+// pick().
+func (r *ReliableClient) pickPreferred(prefer []string, idx *int) *repEndpoint {
+	set := r.snapshot()
+	for *idx < len(prefer) {
+		addr := prefer[*idx]
+		*idx++
+		if ep := set.byAddr[addr]; ep != nil && ep.breaker.Allow() {
+			return ep
+		}
+	}
+	return nil
+}
+
+// noEndpointsErr maps a nil pick to the right verdict: an empty set is
+// ErrNoEndpoints (membership may arrive), a populated one with no
+// admitting breaker is ErrAllBreakersOpen.
+func (r *ReliableClient) noEndpointsErr() error {
+	if len(r.snapshot().list) == 0 {
+		return ErrNoEndpoints
+	}
+	return ErrAllBreakersOpen
 }
 
 // settle reports an attempt's outcome to the endpoint's breaker and
@@ -374,7 +508,7 @@ func (r *ReliableClient) do(ctx context.Context, op func(*Client) error) error {
 		}
 		ep := r.pick()
 		if ep == nil {
-			return ErrAllBreakersOpen
+			return r.noEndpointsErr()
 		}
 		if attempt > 0 {
 			if r.retries != nil {
@@ -411,6 +545,24 @@ func (r *ReliableClient) Invoke(fn string, payload []byte) ([]byte, error) {
 // span — joining ctx's trace when it carries one, starting a new trace
 // otherwise — and one span per attempt, hedge arm, and breaker skip.
 func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	return r.invoke(ctx, fn, payload, nil)
+}
+
+// InvokeRouted is InvokeContext steered by a routing policy: prefer is
+// a preference-ordered address list (a consistent-hash ring walk, a
+// least-loaded ordering) that successive attempts consume in order —
+// the first attempt takes the first admitted preferred endpoint, a
+// retry after its failure moves to the next, and an exhausted list
+// falls back to plain round-robin over whatever admits traffic. A
+// preferred address that already left the set is skipped, so a stale
+// preference degrades to ordinary failover instead of an error. This is
+// the router's invocation path: policy chooses, ReliableClient
+// retries/hedges/breaks exactly as for any other call.
+func (r *ReliableClient) InvokeRouted(ctx context.Context, fn string, payload []byte, prefer []string) ([]byte, error) {
+	return r.invoke(ctx, fn, payload, prefer)
+}
+
+func (r *ReliableClient) invoke(ctx context.Context, fn string, payload []byte, prefer []string) ([]byte, error) {
 	var root *trace.ActiveSpan
 	if r.cfg.Spans != nil {
 		tc, _ := trace.ContextSpan(ctx)
@@ -419,6 +571,7 @@ func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload [
 	}
 	var out []byte
 	var last *repEndpoint
+	preferIdx := 0
 	err := r.policy().Do(ctx, func(attempt int) error {
 		// Every attempt after the first is extra fleet load and must be
 		// paid for from the shared budget — the same bucket hedge arms
@@ -428,8 +581,14 @@ func (r *ReliableClient) InvokeContext(ctx context.Context, fn string, payload [
 		if attempt > 0 && !r.spendBudget() {
 			return fmt.Errorf("wire: retry suppressed: %w", retry.ErrBudgetExhausted)
 		}
-		ep := r.pick()
+		ep := r.pickPreferred(prefer, &preferIdx)
 		if ep == nil {
+			ep = r.pick()
+		}
+		if ep == nil {
+			if err := r.noEndpointsErr(); errors.Is(err, ErrNoEndpoints) {
+				return err
+			}
 			r.skipSpan(ctx, attempt)
 			return ErrAllBreakersOpen
 		}
@@ -585,15 +744,16 @@ func (r *ReliableClient) invokeAttempt(ctx context.Context, ep *repEndpoint, fn 
 // traffic, rotating round-robin like pick. Returns nil with fewer than
 // two endpoints or when no other breaker allows.
 func (r *ReliableClient) pickOther(avoid *repEndpoint) *repEndpoint {
-	if len(r.eps) < 2 {
+	eps := r.snapshot().list
+	if len(eps) < 2 {
 		return nil
 	}
 	r.mu.Lock()
 	start := r.next
 	r.next++
 	r.mu.Unlock()
-	for i := 0; i < len(r.eps); i++ {
-		ep := r.eps[(start+i)%len(r.eps)]
+	for i := 0; i < len(eps); i++ {
+		ep := eps[(start+i)%len(eps)]
 		if ep == avoid {
 			continue
 		}
@@ -610,7 +770,7 @@ func (r *ReliableClient) pickOther(avoid *repEndpoint) *repEndpoint {
 // tracks the configured latency quantile, floored at MinDelay.
 func (r *ReliableClient) hedgeDelay() (time.Duration, bool) {
 	h := r.cfg.Hedge
-	if !h.Enabled || len(r.eps) < 2 {
+	if !h.Enabled || len(r.snapshot().list) < 2 {
 		return 0, false
 	}
 	if h.Delay > 0 {
@@ -655,11 +815,25 @@ func (r *ReliableClient) Ping() error {
 	return r.do(context.Background(), func(c *Client) error { return c.Ping() })
 }
 
+// List returns the function names registered on any live endpoint, with
+// retry and failover — a router forwards the list op through this, so a
+// federation answers with whichever member responds first.
+func (r *ReliableClient) List() ([]string, error) {
+	var names []string
+	err := r.do(context.Background(), func(c *Client) error {
+		var err error
+		names, err = c.List()
+		return err
+	})
+	return names, err
+}
+
 // BreakerStates returns each endpoint's current breaker state, keyed by
 // address — continuumctl renders this after a failover-enabled run.
 func (r *ReliableClient) BreakerStates() map[string]retry.State {
-	out := make(map[string]retry.State, len(r.eps))
-	for _, ep := range r.eps {
+	eps := r.snapshot().list
+	out := make(map[string]retry.State, len(eps))
+	for _, ep := range eps {
 		out[ep.addr] = ep.breaker.State()
 	}
 	return out
@@ -667,20 +841,8 @@ func (r *ReliableClient) BreakerStates() map[string]retry.State {
 
 // Close closes every pooled connection.
 func (r *ReliableClient) Close() error {
-	var first error
-	for _, ep := range r.eps {
-		ep.mu.Lock()
-		conns := ep.conns
-		ep.conns = make([]*Client, len(ep.conns))
-		ep.mu.Unlock()
-		for _, c := range conns {
-			if c == nil {
-				continue
-			}
-			if err := c.Close(); err != nil && first == nil {
-				first = fmt.Errorf("wire: close %s: %w", ep.addr, err)
-			}
-		}
+	for _, ep := range r.snapshot().list {
+		ep.closeConns()
 	}
-	return first
+	return nil
 }

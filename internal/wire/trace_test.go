@@ -59,8 +59,9 @@ func spanBy(spans []*trace.Span, pred func(*trace.Span) bool) *trace.Span {
 // pre-trace wire format.
 func TestBinaryTraceTrailerOptional(t *testing.T) {
 	plain := fullRequest()
-	plain.TraceID, plain.SpanID, plain.Priority = "", "", 0 // default frame: no trailer at all
+	plain.TraceID, plain.SpanID, plain.Priority, plain.Member = "", "", 0, nil // default frame: no trailer at all
 	traced := fullRequest()
+	traced.Member = nil // trace-only trailer: strictly the trace extension
 
 	var plainBuf, tracedBuf bytes.Buffer
 	if err := WriteFrameCodec(&plainBuf, plain, CodecBinary); err != nil {

@@ -123,6 +123,25 @@ const (
 	// one trace ID) — the wire half of the pull-based trace store; the
 	// other half is continuumd's /debug/traces HTTP endpoint.
 	OpTrace Op = "trace"
+	// OpRegister joins the federation: a daemon announces itself to a
+	// continuum-router with Request.Member (name, advertised address,
+	// capacity, functions). The response carries the assigned
+	// Generation and the heartbeat interval (Response.HeartbeatMS).
+	OpRegister Op = "register"
+	// OpHeartbeat refreshes a member's liveness and load snapshot.
+	// Request.Member repeats the registration body plus the live
+	// queue-depth/in-flight/cordon figures and must echo the assigned
+	// Generation; a router that no longer knows the member (expired, or
+	// superseded by a newer registration) answers with an error telling
+	// the daemon to re-register.
+	OpHeartbeat Op = "heartbeat"
+	// OpDeregister leaves the federation: Member.Draining true is a
+	// graceful drain (stop routing new work, stay listed while in-flight
+	// work finishes), false an immediate departure.
+	OpDeregister Op = "deregister"
+	// OpEndpoints lists the router's membership view
+	// (Response.Members) — the wire half of `continuumctl endpoints`.
+	OpEndpoints Op = "endpoints"
 )
 
 // Request is a client frame. ID, when set, is echoed verbatim on the
@@ -142,16 +161,21 @@ const (
 // lower classes first. Zero — the wire default — is normal, so legacy
 // peers that never send the field land in the normal class, and frames
 // from priority-unaware clients stay byte-identical in both codecs.
+// Member is the federation control-plane body (register, heartbeat,
+// deregister — see MemberInfo). Like the trace fields it is optional in
+// both codecs: requests that don't carry it stay byte-identical to
+// pre-federation frames, and legacy peers simply drop it.
 type Request struct {
-	Op       Op       `json:"op"`
-	ID       string   `json:"id,omitempty"`
-	Accept   string   `json:"accept,omitempty"`
-	Fn       string   `json:"fn,omitempty"`
-	Payload  []byte   `json:"payload,omitempty"`
-	Batch    [][]byte `json:"batch,omitempty"`
-	TraceID  string   `json:"trace,omitempty"`
-	SpanID   string   `json:"span,omitempty"`
-	Priority int      `json:"prio,omitempty"`
+	Op       Op          `json:"op"`
+	ID       string      `json:"id,omitempty"`
+	Accept   string      `json:"accept,omitempty"`
+	Fn       string      `json:"fn,omitempty"`
+	Payload  []byte      `json:"payload,omitempty"`
+	Batch    [][]byte    `json:"batch,omitempty"`
+	TraceID  string      `json:"trace,omitempty"`
+	SpanID   string      `json:"span,omitempty"`
+	Priority int         `json:"prio,omitempty"`
+	Member   *MemberInfo `json:"member,omitempty"`
 }
 
 // EndpointStats mirrors one endpoint's counters.
@@ -189,6 +213,10 @@ type FnMetrics struct {
 // back off before retrying. Optional in both codecs (JSON omitempty;
 // binary rides the rare-field extension), so unloaded responses stay
 // byte-identical and legacy peers simply never see it.
+// Members, HeartbeatMS, and Generation are the federation control-plane
+// results: Members answers the endpoints op, HeartbeatMS and Generation
+// answer register (the interval the daemon must heartbeat at, and the
+// incarnation it must echo). All optional in both codecs.
 type Response struct {
 	OK           bool            `json:"ok"`
 	ID           string          `json:"id,omitempty"`
@@ -202,6 +230,21 @@ type Response struct {
 	Stats        []EndpointStats `json:"stats,omitempty"`
 	Top          []FnMetrics     `json:"top,omitempty"`
 	Spans        []trace.Span    `json:"spans,omitempty"` // OpTrace result
+	Members      []MemberStatus  `json:"members,omitempty"`
+	HeartbeatMS  int64           `json:"heartbeat_ms,omitempty"`
+	Generation   int64           `json:"generation,omitempty"`
+}
+
+// OpsHandler extends a Server with additional ops without the Server
+// knowing them. Dispatch offers every request to the handler first;
+// returning handled=false falls through to the built-in ops. This is
+// how a continuum-router serves the federation control ops (register,
+// heartbeat, deregister, endpoints) on the same listener that routes
+// invocations: the router's registry implements OpsHandler while
+// invocations flow through the ordinary Invoker path, keeping span and
+// priority threading.
+type OpsHandler interface {
+	HandleOp(req *Request) (resp *Response, handled bool)
 }
 
 // Server serves the protocol over accepted connections.
@@ -212,6 +255,10 @@ type Server struct {
 	}
 	Registry  *faas.Registry
 	Endpoints []*faas.Endpoint
+
+	// Ops, when set, is offered every request before the built-in
+	// dispatch — see OpsHandler. Unhandled requests fall through.
+	Ops OpsHandler
 
 	// Workers bounds concurrent request processing per connection
 	// (0 = DefaultConnWorkers). Requests without an ID — legacy peers,
@@ -673,6 +720,11 @@ func (s *Server) top() []FnMetrics {
 // threaded into context-aware invokers so endpoint spans (queue-wait,
 // exec) join the request's trace.
 func (s *Server) dispatch(req *Request, sp *trace.ActiveSpan) *Response {
+	if s.Ops != nil {
+		if resp, handled := s.Ops.HandleOp(req); handled {
+			return resp
+		}
+	}
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}

@@ -64,6 +64,20 @@ echo "== scenario smoke (-race) =="
 # a live in-process fleet replay with zero lost requests.
 go test -race -count=1 -run 'TestScenarioBothBackends' .
 
+echo "== federation smoke (-race) =="
+# Federated control-plane gate: a router fronting three daemons survives
+# one hard kill and one graceful drain with zero accepted requests lost,
+# the endpoints op tracks membership on the heartbeat schedule, and a
+# router-fronted live scenario replays join/leave churn losslessly.
+go test -race -count=1 -run 'TestE2EFederationChurnNoRequestLost' .
+go test -race -count=1 -run 'TestLiveRouterChurnZeroLost' ./internal/scenario
+
+echo "== doc lint =="
+# Every exported identifier in the operator-facing packages must carry a
+# doc comment (wire, faas, federation — the API surface OPERATIONS.md
+# and the godoc pass document).
+go run ./scripts/doclint ./internal/federation ./internal/wire ./internal/faas
+
 echo "== trace smoke =="
 # Distributed-tracing gate: a hedged request across two real continuumd
 # processes must assemble into one cross-daemon trace with the client

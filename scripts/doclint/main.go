@@ -1,0 +1,146 @@
+// Command doclint enforces the godoc convention on the packages it is
+// given: every exported top-level identifier — types, functions,
+// methods on exported receivers, and var/const specs — must carry a doc
+// comment, and every package must have a package comment. It is the
+// vet-adjacent gate scripts/check.sh runs over the operator-facing
+// packages (wire, faas, federation), so the API surface OPERATIONS.md
+// documents cannot silently grow undocumented corners.
+//
+// Usage:
+//
+//	go run ./scripts/doclint ./internal/federation ./internal/wire
+//
+// Each argument is a package directory (not a pattern). Test files are
+// skipped. Exit status 1 reports findings, one per line, in
+// file:line: message form.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir>...")
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range os.Args[1:] {
+		f, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	if len(findings) > 0 {
+		sort.Strings(findings)
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers missing doc comments\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory and returns findings for every
+// undocumented exported identifier in its non-test files.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		pkgDoc := false
+		for _, file := range pkg.Files {
+			if file.Doc != nil {
+				pkgDoc = true
+			}
+			for _, decl := range file.Decls {
+				lintDecl(decl, report)
+			}
+		}
+		if !pkgDoc {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	return findings, nil
+}
+
+// lintDecl reports one top-level declaration's undocumented exported
+// names. A doc comment on a grouped var/const/type block covers every
+// spec in the group; a spec-level doc or trailing line comment also
+// counts (the stdlib's own style for short var groups).
+func lintDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if recv := receiverType(d); recv != "" {
+			if !ast.IsExported(recv) {
+				return // method on an unexported type: internal detail
+			}
+			report(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+			return
+		}
+		report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return
+		}
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				covered := groupDoc || s.Doc != nil || s.Comment != nil
+				for _, name := range s.Names {
+					if name.IsExported() && !covered {
+						report(s.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverType returns the bare type name of a method receiver ("" for
+// plain functions), unwrapping pointers and generic instantiations.
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
